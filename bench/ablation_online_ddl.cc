@@ -1,0 +1,76 @@
+// Ablation: online DDL (§7.3). MySQL implements most schema changes with a
+// full table copy; Aurora versions schemas and upgrades rows lazily on
+// modification (modify-on-write). Compare the latency of ALTER TABLE and
+// its impact on concurrent traffic.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace aurora::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: online DDL (instant vs table-copy ALTER)",
+              "§7.3 (schema evolution)");
+
+  const uint64_t rows = RowsForGb(10);
+  ClusterOptions copts = StandardAuroraOptions();
+  AuroraCluster cluster(copts);
+  if (!cluster.BootstrapSync().ok()) return;
+  SyntheticCatalog catalog;
+  auto layout = AttachSyntheticTable(&cluster, &catalog, "t", rows,
+                                     kRowBytes);
+  if (!layout.ok()) return;
+  PageId table = (*layout)->anchor();
+
+  // Run OLTP traffic and fire an ALTER mid-stream.
+  AuroraClient client(cluster.writer());
+  SysbenchOptions sopts;
+  sopts.mode = SysbenchOptions::Mode::kOltp;
+  sopts.connections = 16;
+  sopts.duration = Seconds(3);
+  sopts.warmup = Millis(300);
+  SysbenchDriver driver(cluster.loop(), &client, table, sopts);
+  bool done = false;
+  driver.Run([&] { done = true; });
+
+  SimTime ddl_started = 0, ddl_finished = 0;
+  uint32_t new_version = 0;
+  cluster.loop()->Schedule(Millis(1500), [&] {
+    ddl_started = cluster.loop()->now();
+    cluster.writer()->AlterTableSchema("t", [&](Result<uint32_t> v) {
+      ddl_finished = cluster.loop()->now();
+      if (v.ok()) new_version = *v;
+    });
+  });
+  cluster.RunUntil([&] { return done; }, Minutes(30));
+
+  printf("Aurora instant DDL under live OLTP load:\n");
+  printf("  ALTER latency:        %.2f ms (metadata-only)\n",
+         ToMillis(ddl_finished - ddl_started));
+  printf("  new schema version:   %u\n", new_version);
+  printf("  traffic during DDL:   %.0f txns/s, %llu errors\n",
+         driver.results().tps(),
+         static_cast<unsigned long long>(driver.results().errors));
+
+  // Table-copy cost model: rewriting every row of the table through the
+  // write path (what a MySQL full-copy ALTER does to this table).
+  double copy_statements = static_cast<double>(rows);
+  double write_rate = driver.results().writes_per_sec();
+  printf("\nTable-copy ALTER estimate for the same table:\n");
+  printf("  %llu rows to rewrite at ~%.0f rows/s => ~%.1f s of copy,\n",
+         static_cast<unsigned long long>(rows), write_rate,
+         write_rate > 0 ? copy_statements / write_rate : 0);
+  printf("  holding locks and doubling storage meanwhile.\n");
+  printf("\nPaper context: customers run 'a few dozen migrations a week';\n");
+  printf("Aurora's per-page schema versioning makes them O(1).\n");
+}
+
+}  // namespace
+}  // namespace aurora::bench
+
+int main() {
+  aurora::bench::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: write-quorum width vs commit latency and availability.
+// The 4/6 quorum is Aurora's outlier-absorber (§1, §3.1): commits wait for
+// the 4th-fastest of six replicas, so one slow or dead node is invisible.
+// This sweep compares 6/6 (synchronous all-replica, like chain/mirror
+// schemes), 4/6 (Aurora) and 2/3 under a slow storage node.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace aurora::bench {
+namespace {
+
+void RunOne(const char* label, QuorumConfig q, double slow_factor) {
+  ClusterOptions copts = StandardAuroraOptions();
+  copts.engine.quorum = q;
+  AuroraCluster cluster(copts);
+  if (!cluster.BootstrapSync().ok()) return;
+  SyntheticCatalog catalog;
+  auto layout =
+      AttachSyntheticTable(&cluster, &catalog, "t", RowsForGb(1), kRowBytes);
+  if (!layout.ok()) return;
+  if (slow_factor > 1) {
+    sim::NodeId victim = cluster.control_plane()->membership(0).nodes[0];
+    cluster.failure_injector()->SlowNode(victim, slow_factor, 0);
+  }
+  AuroraClient client(cluster.writer());
+  SysbenchOptions sopts;
+  sopts.mode = SysbenchOptions::Mode::kWriteOnly;
+  sopts.connections = 16;
+  sopts.duration = Seconds(2);
+  sopts.warmup = Millis(300);
+  SysbenchDriver driver(cluster.loop(), &client, (*layout)->anchor(), sopts);
+  bool done = false;
+  driver.Run([&] { done = true; });
+  cluster.RunUntil([&] { return done; }, Minutes(30));
+  const Histogram& commit =
+      cluster.writer()->stats().commit_latency_us;
+  printf("%-26s %10.0f %12.2f %12.2f %10llu\n", label,
+         driver.results().writes_per_sec(), ToMillis(commit.P50()),
+         ToMillis(commit.P99()),
+         static_cast<unsigned long long>(
+             cluster.writer()->stats().batch_retries));
+}
+
+void Run() {
+  PrintHeader("Ablation: quorum width under a slow storage node",
+              "§2.1/§3.1 (the 4/6 design point)");
+  printf("%-26s %10s %12s %12s %10s\n", "config", "writes/s",
+         "commit p50", "commit p99", "retries");
+  RunOne("4/6 (Aurora), healthy", QuorumConfig::Aurora(), 1);
+  RunOne("4/6 (Aurora), 1 slow 20x", QuorumConfig::Aurora(), 20);
+  RunOne("6/6 (all-replica), healthy", QuorumConfig{6, 6, 1}, 1);
+  RunOne("6/6 (all-replica), slow", QuorumConfig{6, 6, 1}, 20);
+  printf("\nExpected shape: 4/6 is insensitive to the slow node; 6/6\n");
+  printf("inherits the slowest replica's latency into every commit.\n");
+}
+
+}  // namespace
+}  // namespace aurora::bench
+
+int main() {
+  aurora::bench::Run();
+  return 0;
+}

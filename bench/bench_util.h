@@ -1,0 +1,143 @@
+#ifndef AURORA_BENCH_BENCH_UTIL_H_
+#define AURORA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "harness/bulk_load.h"
+#include "harness/scale.h"
+#include "harness/client_api.h"
+#include "harness/cluster.h"
+#include "harness/mysql_cluster.h"
+#include "harness/synthetic_table.h"
+#include "workload/sysbench.h"
+
+namespace aurora::bench {
+
+// ---------------------------------------------------------------------------
+// Scale constants (see DESIGN.md §5 and EXPERIMENTS.md).
+//
+// The paper's testbed is r3.8xlarge instances against multi-terabyte
+// volumes over 30-minute runs; the simulation runs the same protocols at a
+// documented reduction so whole-cluster experiments finish in seconds of
+// wall-clock. Shapes (ratios, crossovers) are the reproduction target, not
+// absolute numbers.
+// ---------------------------------------------------------------------------
+
+// Scale constants live in harness/scale.h (shared with tests and docs).
+using scale::kCachePagesFor170Gb;
+using scale::kPageSize;
+using scale::kRowBytes;
+using scale::kRowsPerGb;
+/// Default measured window (the paper uses 30-minute runs).
+constexpr SimDuration kMeasure = Seconds(5);
+constexpr SimDuration kWarmup = Seconds(1);
+
+using scale::RowsForGb;
+
+inline ClusterOptions StandardAuroraOptions() {
+  ClusterOptions o;
+  o.engine.page_size = kPageSize;
+  o.engine.pages_per_pg = 2048;
+  o.engine.buffer_pool_pages = kCachePagesFor170Gb;
+  o.storage_nodes_per_az = 4;
+  return o;
+}
+
+inline MysqlClusterOptions StandardMysqlOptions() {
+  MysqlClusterOptions o;
+  o.mysql.engine.page_size = kPageSize;
+  o.mysql.engine.buffer_pool_pages = kCachePagesFor170Gb;
+  return o;
+}
+
+/// A complete Aurora benchmark run: the cluster stays alive so callers can
+/// inspect stats after the workload finishes.
+struct AuroraRun {
+  std::unique_ptr<AuroraCluster> cluster;
+  std::unique_ptr<SyntheticCatalog> catalog;
+  PageId table = kInvalidPage;
+  WorkloadResults results;
+  bool ok = false;
+};
+
+inline AuroraRun RunAuroraSysbench(ClusterOptions copts,
+                                   SysbenchOptions sopts, uint64_t rows) {
+  AuroraRun run;
+  run.cluster = std::make_unique<AuroraCluster>(copts);
+  run.catalog = std::make_unique<SyntheticCatalog>();
+  Status s = run.cluster->BootstrapSync();
+  if (!s.ok()) {
+    fprintf(stderr, "bootstrap failed: %s\n", s.ToString().c_str());
+    return run;
+  }
+  auto layout = AttachSyntheticTable(run.cluster.get(), run.catalog.get(),
+                                     "sbtest", rows, kRowBytes);
+  if (!layout.ok()) {
+    fprintf(stderr, "attach failed: %s\n", layout.status().ToString().c_str());
+    return run;
+  }
+  run.table = (*layout)->anchor();
+  sopts.table_rows = rows;
+  sopts.value_size = kRowBytes;
+  AuroraClient client(run.cluster->writer());
+  SysbenchDriver driver(run.cluster->loop(), &client, run.table, sopts);
+  bool done = false;
+  driver.Run([&] { done = true; });
+  run.cluster->RunUntil([&] { return done; }, Minutes(60));
+  run.results = driver.results();
+  run.ok = done;
+  return run;
+}
+
+struct MysqlRun {
+  std::unique_ptr<MysqlCluster> cluster;
+  std::unique_ptr<SyntheticCatalog> catalog;
+  PageId table = kInvalidPage;
+  WorkloadResults results;
+  bool ok = false;
+};
+
+inline MysqlRun RunMysqlSysbench(MysqlClusterOptions copts,
+                                 SysbenchOptions sopts, uint64_t rows) {
+  MysqlRun run;
+  run.cluster = std::make_unique<MysqlCluster>(copts);
+  run.catalog = std::make_unique<SyntheticCatalog>();
+  Status s = run.cluster->BootstrapSync();
+  if (!s.ok()) {
+    fprintf(stderr, "bootstrap failed: %s\n", s.ToString().c_str());
+    return run;
+  }
+  auto layout = AttachSyntheticTableMysql(run.cluster.get(),
+                                          run.catalog.get(), "sbtest", rows,
+                                          kRowBytes);
+  if (!layout.ok()) {
+    fprintf(stderr, "attach failed: %s\n", layout.status().ToString().c_str());
+    return run;
+  }
+  run.table = (*layout)->anchor();
+  sopts.table_rows = rows;
+  sopts.value_size = kRowBytes;
+  MysqlClient client(run.cluster->db());
+  SysbenchDriver driver(run.cluster->loop(), &client, run.table, sopts);
+  bool done = false;
+  driver.Run([&] { done = true; });
+  run.cluster->RunUntil([&] { return done; }, Minutes(120));
+  run.results = driver.results();
+  run.ok = done;
+  return run;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  printf("==============================================================\n");
+  printf("%s\n", title);
+  printf("  (reproduces %s; simulated scale — compare shapes, not\n",
+         paper_ref);
+  printf("   absolute values; see EXPERIMENTS.md)\n");
+  printf("==============================================================\n");
+}
+
+}  // namespace aurora::bench
+
+#endif  // AURORA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,59 @@
+// Figure 11: "Maximum Replica Lag (averaged hourly)" — after the education-
+// technology company's migration, the max lag across 4 Aurora replicas
+// never exceeded 20 ms (vs 12-minute spikes on MySQL that made the replica
+// unusable except as a standby).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace aurora::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 11: max replica lag across 4 replicas",
+              "Figure 11 (§6.2.3)");
+
+  SysbenchOptions sopts;
+  sopts.mode = SysbenchOptions::Mode::kOltp;
+  sopts.connections = 32;
+  sopts.duration = Seconds(4);
+  sopts.warmup = Millis(500);
+  const uint64_t rows = RowsForGb(10);
+
+  ClusterOptions aopts = StandardAuroraOptions();
+  aopts.num_replicas = 4;
+  AuroraRun aurora = RunAuroraSysbench(aopts, sopts, rows);
+
+  printf("%-10s %14s %14s %14s\n", "replica", "p50 lag ms", "p95 lag ms",
+         "max lag ms");
+  double overall_max = 0;
+  for (size_t r = 0; r < aurora.cluster->num_replicas(); ++r) {
+    const Histogram& lag = aurora.cluster->replica(r)->stats().lag_us;
+    overall_max = std::max(overall_max, ToMillis(lag.max()));
+    printf("replica-%zu %14.2f %14.2f %14.2f\n", r, ToMillis(lag.P50()),
+           ToMillis(lag.P95()), ToMillis(lag.max()));
+  }
+  printf("\nMax lag across all 4 replicas: %.2f ms  (paper: never exceeded"
+         " 20 ms;\nMySQL before migration spiked to 12 minutes)\n",
+         overall_max);
+
+  // MySQL comparison point at the same load.
+  MysqlClusterOptions mopts = StandardMysqlOptions();
+  mopts.num_binlog_replicas = 1;
+  MysqlRun mysql = RunMysqlSysbench(mopts, sopts, rows);
+  double mysql_lag_ms =
+      ToMillis(mysql.cluster->binlog_replica(0)->CurrentBacklog()) +
+      ToMillis(mysql.cluster->binlog_replica(0)->stats().lag_us.P95());
+  printf("MySQL binlog replica lag at the same load: %.0f ms\n",
+         mysql_lag_ms);
+}
+
+}  // namespace
+}  // namespace aurora::bench
+
+int main() {
+  aurora::bench::Run();
+  return 0;
+}

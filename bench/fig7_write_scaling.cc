@@ -1,0 +1,56 @@
+// Figure 7: "Aurora scales linearly for write-only workload" — SysBench
+// write-only on 1GB across the r3 family. Paper: Aurora reaches 121K
+// writes/sec on r3.8xlarge vs ~20-25K for MySQL 5.6/5.7.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace aurora::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 7: write-only statements/sec vs instance size",
+              "Figure 7 (SysBench write-only, 1GB, §6.1.1)");
+
+  const sim::InstanceOptions sizes[] = {sim::R3Large(), sim::R3XLarge(),
+                                        sim::R32XLarge(), sim::R34XLarge(),
+                                        sim::R38XLarge()};
+  // "1 GB" of the paper has ~10M rows; keep the rows-per-connection ratio
+  // sane at the simulated scale by using 10 scale-GB of rows (still fully
+  // cache-resident, as in the paper's 1GB configuration).
+  const uint64_t rows = RowsForGb(10);
+
+  printf("%-12s %6s %17s %17s\n", "instance", "vcpus", "aurora writes/s",
+         "mysql writes/s");
+  for (const auto& inst : sizes) {
+    SysbenchOptions sopts;
+    sopts.mode = SysbenchOptions::Mode::kWriteOnly;
+    sopts.connections = inst.vcpus * 4;
+    sopts.duration = Millis(1500);
+    sopts.warmup = Millis(300);
+
+    ClusterOptions aopts = StandardAuroraOptions();
+    aopts.writer_instance = inst;
+    AuroraRun aurora = RunAuroraSysbench(aopts, sopts, rows);
+
+    MysqlClusterOptions mopts = StandardMysqlOptions();
+    mopts.instance = inst;
+    mopts.mysql.cpu_contention_per_connection_us = 0.3;
+    MysqlRun mysql = RunMysqlSysbench(mopts, sopts, rows);
+
+    printf("%-12s %6d %17.0f %17.0f\n", inst.name.c_str(), inst.vcpus,
+           aurora.results.writes_per_sec(), mysql.results.writes_per_sec());
+  }
+  printf("\nExpected shape: Aurora scales with vCPUs (commits are\n");
+  printf("asynchronous); MySQL flattens early on its synchronous WAL and\n");
+  printf("binlog chains (paper: 121K vs 20-25K writes/sec at 8xl).\n");
+}
+
+}  // namespace
+}  // namespace aurora::bench
+
+int main() {
+  aurora::bench::Run();
+  return 0;
+}

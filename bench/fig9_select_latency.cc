@@ -1,0 +1,60 @@
+// Figure 9: "SELECT latency (P50 vs P95)" — the education-technology
+// customer's SELECT latencies before (MySQL) and after (Aurora) migration.
+// Before: P95 of 40-80 ms towering over a ~1 ms P50 (outlier-dominated);
+// after: P95 collapses toward the P50.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace aurora::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 9: SELECT latency P50 vs P95 (migration)",
+              "Figure 9 (§6.2.2)");
+
+  // Matched, unsaturated load on both systems (a handful of connections)
+  // so latency is compared at equal throughput; a working set far larger
+  // than the cache makes every SELECT a storage fetch; the 20% writes are
+  // what create MySQL's read tail — page flushing and double-writes queue
+  // on the same EBS volume the reads need, while Aurora's log-only writes
+  // land on a separate fleet.
+  SysbenchOptions sopts;
+  sopts.mode = SysbenchOptions::Mode::kOltp;
+  sopts.point_selects = 8;
+  sopts.index_updates = 2;
+  sopts.connections = 8;
+  sopts.duration = Seconds(3);
+  sopts.warmup = Millis(500);
+  const uint64_t rows = RowsForGb(4000);
+
+  MysqlRun before = RunMysqlSysbench(StandardMysqlOptions(), sopts, rows);
+  const Histogram& bm = before.cluster->db()->stats().read_latency_us;
+
+  AuroraRun after = RunAuroraSysbench(StandardAuroraOptions(), sopts, rows);
+  const Histogram& am = after.cluster->writer()->stats().read_latency_us;
+
+  printf("%-22s %12s %12s %12s\n", "Configuration", "P50 (ms)", "P95 (ms)",
+         "P95/P50");
+  printf("%-22s %12.2f %12.2f %11.1fx\n", "MySQL (before)",
+         ToMillis(bm.P50()), ToMillis(bm.P95()),
+         bm.P50() ? static_cast<double>(bm.P95()) / bm.P50() : 0);
+  printf("%-22s %12.2f %12.2f %11.1fx\n", "Aurora (after)",
+         ToMillis(am.P50()), ToMillis(am.P95()),
+         am.P50() ? static_cast<double>(am.P95()) / am.P50() : 0);
+  printf("\nNote: this figure reproduces PARTIALLY (see EXPERIMENTS.md).\n");
+  printf("The customer's 40-80x read tail came from multi-tenant EBS\n");
+  printf("outliers under production load, which the single-tenant EBS\n");
+  printf("model here lacks; at matched load both systems show comparable\n");
+  printf("read-tail ratios. The write-path tail story (Figure 10)\n");
+  printf("reproduces strongly.\n");
+}
+
+}  // namespace
+}  // namespace aurora::bench
+
+int main() {
+  aurora::bench::Run();
+  return 0;
+}

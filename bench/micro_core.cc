@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) for the hot data-path primitives:
+// redo encode/decode, CRC32C, the log applicator, slotted-page ops and
+// B+-tree point operations. These bound the simulated engine's CPU cost
+// model and catch data-path regressions.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/crc32c.h"
+#include "log/applicator.h"
+#include "log/log_record.h"
+#include "page/btree.h"
+#include "page/page.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(16384);
+
+void BM_LogRecordEncodeDecode(benchmark::State& state) {
+  LogRecord rec;
+  rec.lsn = 123456789;
+  rec.prev_pg_lsn = 123456000;
+  rec.prev_vol_lsn = 123456700;
+  rec.page_id = 42;
+  rec.txn_id = 7;
+  rec.op = RedoOp::kUpdate;
+  rec.payload = LogRecord::MakeKeyValuePayload("key0000000000001",
+                                               std::string(100, 'v'));
+  for (auto _ : state) {
+    std::string buf;
+    rec.EncodeTo(&buf);
+    Slice in(buf);
+    LogRecord out;
+    benchmark::DoNotOptimize(LogRecord::DecodeFrom(&in, &out));
+  }
+}
+BENCHMARK(BM_LogRecordEncodeDecode);
+
+void BM_ApplicatorApply(benchmark::State& state) {
+  Page page(16384);
+  page.Format(1, PageType::kBTreeLeaf, 0);
+  Lsn lsn = 1;
+  int i = 0;
+  for (auto _ : state) {
+    LogRecord rec;
+    rec.lsn = ++lsn;
+    rec.page_id = 1;
+    rec.op = RedoOp::kUpdate;
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i % 100);
+    if (page.slot_count() <= i % 100) {
+      rec.op = RedoOp::kInsert;
+    }
+    rec.payload =
+        LogRecord::MakeKeyValuePayload(key, std::string(40, 'a' + i % 26));
+    Status s = LogApplicator::Apply(rec, &page);
+    benchmark::DoNotOptimize(s);
+    ++i;
+    if (page.FreeSpace() < 256) {
+      page.Format(1, PageType::kBTreeLeaf, 0);
+      i = 0;
+    }
+  }
+}
+BENCHMARK(BM_ApplicatorApply);
+
+void BM_PagePointLookup(benchmark::State& state) {
+  Page page(16384);
+  page.Format(1, PageType::kBTreeLeaf, 0);
+  for (int i = 0; i < 100; ++i) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    (void)page.InsertRecord(key, std::string(40, 'v'));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i++ % 100);
+    Slice v;
+    benchmark::DoNotOptimize(page.GetRecord(key, &v));
+  }
+}
+BENCHMARK(BM_PagePointLookup);
+
+void BM_BTreeGet(benchmark::State& state) {
+  testing::MemoryPageProvider provider(16384);
+  testing::LocalWalSink sink;
+  MiniTransaction boot(0);
+  auto anchor = BTree::Create(&provider, &boot);
+  (void)sink.CommitMtr(&boot);
+  BTree tree(&provider, *anchor);
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    MiniTransaction mtr(1);
+    (void)tree.Insert(testing::Key(i), std::string(100, 'v'), &mtr);
+    (void)sink.CommitMtr(&mtr);
+  }
+  int i = 0;
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(testing::Key(i++ % n), &value));
+  }
+}
+BENCHMARK(BM_BTreeGet)->Arg(1000)->Arg(100000);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  testing::MemoryPageProvider provider(16384);
+  testing::LocalWalSink sink;
+  MiniTransaction boot(0);
+  auto anchor = BTree::Create(&provider, &boot);
+  (void)sink.CommitMtr(&boot);
+  BTree tree(&provider, *anchor);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    MiniTransaction mtr(1);
+    Status s = tree.Insert(testing::Key(i++), std::string(100, 'v'), &mtr);
+    benchmark::DoNotOptimize(s);
+    (void)sink.CommitMtr(&mtr);
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+}  // namespace
+}  // namespace aurora
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// §2 "Durability at Scale": why 2/3 quorums are inadequate under
+// AZ-correlated failure and how 10-second segment repair shrinks the
+// double-fault window. Reproduces the quantitative argument behind the
+// AZ+1 design point (analytic model + Monte Carlo + a live repair-time
+// measurement on the simulated fleet).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "quorum/availability.h"
+
+namespace aurora::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Section 2: quorum durability under correlated failure",
+              "§2.1-2.2 (AZ+1 design point)");
+
+  // Repair time: "a 10GB segment can be repaired in 10 seconds on a 10Gbps
+  // network link".
+  printf("Segment repair time (size / bandwidth):\n");
+  for (double gb : {1.0, 10.0, 100.0}) {
+    printf("  %6.0f GB segment @ 10 Gbps: %6.1f s\n", gb,
+           AvailabilityModel::RepairSeconds(
+               static_cast<uint64_t>(gb * (1ull << 30)), 10e9));
+  }
+
+  // Analytic + Monte Carlo quorum-loss probabilities.
+  DurabilityParams params;
+  params.node_mttf_hours = 5000;
+  params.segment_mttr_seconds = 10;
+  params.horizon_hours = 24 * 365;
+
+  Random rng(2017);
+  printf("\n%-14s %22s %26s\n", "quorum", "P(loss | AZ failure)",
+         "MC loss prob (1yr, AZ evts)");
+  for (QuorumConfig q : {QuorumConfig::TwoOfThree(), QuorumConfig::Aurora()}) {
+    AvailabilityModel model(q, params);
+    DurabilityReport report = model.Analytic();
+    double mc = model.MonteCarloLossProb(20000, 1.0 / (24 * 90), &rng);
+    char name[16];
+    snprintf(name, sizeof(name), "%d/%d/%d", q.votes, q.write_quorum,
+             q.read_quorum);
+    printf("%-14s %22.2e %26.4f\n", name, report.az_plus_noise_loss_prob, mc);
+  }
+  printf("\nExpected shape: the 6/4/3 scheme survives AZ+1 (orders of\n");
+  printf("magnitude below 2/3), because an AZ failure still leaves a\n");
+  printf("read quorum plus one spare.\n");
+
+  // Live fleet measurement: MTTR on the simulated storage fleet.
+  printf("\nLive repair on the simulated fleet:\n");
+  ClusterOptions copts = StandardAuroraOptions();
+  copts.repair.detection_threshold = Seconds(2);
+  AuroraCluster cluster(copts);
+  if (!cluster.BootstrapSync().ok()) return;
+  PageId table;
+  {
+    if (!cluster.CreateTableSync("t").ok()) return;
+    table = *cluster.TableAnchorSync("t");
+  }
+  for (int i = 0; i < 400; ++i) {
+    (void)cluster.PutSync(table, SyntheticTableLayout::KeyOf(i),
+                          std::string(200, 'x'));
+  }
+  cluster.RunFor(Seconds(2));
+  sim::NodeId victim = cluster.control_plane()->membership(0).nodes[0];
+  cluster.failure_injector()->CrashNode(victim, 0);  // permanent
+  cluster.RunUntil(
+      [&] { return cluster.repair_manager()->stats().repairs_completed > 0; },
+      Minutes(5));
+  const auto& durations = cluster.repair_manager()->repair_durations();
+  if (!durations.empty()) {
+    printf("  segment copy after the 2 s detection threshold: %.3f s\n"
+           "  (tiny test segment; a paper-scale 10 GB segment moves in\n"
+           "   ~8.6 s at 10 Gbps, per the table above)\n",
+           ToSeconds(durations.front()));
+  }
+  printf("  repairs completed: %llu\n",
+         static_cast<unsigned long long>(
+             cluster.repair_manager()->stats().repairs_completed));
+}
+
+}  // namespace
+}  // namespace aurora::bench
+
+int main() {
+  aurora::bench::Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Table 1: "Network IOs for Aurora vs MySQL" — SysBench write-only against
+// a 100 GB data set; the paper reports transactions completed in 30 minutes
+// and network I/Os per transaction at the database tier:
+//
+//     Configuration       Transactions   IOs/Transaction
+//     Mirrored MySQL           780,000        7.4
+//     Aurora with Replicas  27,378,000        0.95
+//
+// Here a transaction is one SysBench write-only transaction (4 statements).
+// "I/Os per transaction" counts database-tier network operations: for
+// mirrored MySQL each WAL/binlog/page/double-write chain write (per Figure
+// 2); for Aurora, log-batch sends (whose 6-way fan-out is amplification at
+// the storage tier, not extra database I/O initiation — matching how the
+// paper counts 0.95 despite six copies).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace aurora::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 1: Network IOs for Aurora vs MySQL",
+              "Table 1 (SysBench write-only, 100GB, §3.2)");
+
+  SysbenchOptions sopts;
+  sopts.mode = SysbenchOptions::Mode::kWriteOnly;
+  sopts.connections = 32;
+  sopts.duration = Seconds(2);
+  sopts.warmup = Millis(500);
+  const uint64_t rows = RowsForGb(100);
+
+  // Mirrored MySQL.
+  MysqlRun mysql = RunMysqlSysbench(StandardMysqlOptions(), sopts, rows);
+  const auto& ms = mysql.cluster->db()->stats();
+  // Database-tier write issuances (each chain counted once, as the paper
+  // does: WAL + binlog + data page + double-write; mirror/standby copies
+  // are amplification, not initiation).
+  uint64_t mysql_chains = ms.wal_flushes + ms.binlog_writes + ms.page_writes +
+                          ms.dwb_writes;
+  double mysql_ios_per_txn =
+      mysql.results.txns ? static_cast<double>(mysql_chains) /
+                               static_cast<double>(mysql.results.txns)
+                         : 0;
+
+  // Aurora (with replicas across AZs, like the paper's configuration).
+  ClusterOptions aopts = StandardAuroraOptions();
+  aopts.num_replicas = 2;
+  AuroraRun aurora = RunAuroraSysbench(aopts, sopts, rows);
+  const auto& as = aurora.cluster->writer()->stats();
+  double aurora_ios_per_txn =
+      aurora.results.txns ? static_cast<double>(as.log_batches_sent) /
+                                static_cast<double>(aurora.results.txns)
+                          : 0;
+
+  printf("%-22s %14s %18s\n", "Configuration", "Transactions",
+         "IOs/Transaction");
+  printf("%-22s %14llu %18.2f\n", "Mirrored MySQL",
+         static_cast<unsigned long long>(mysql.results.txns),
+         mysql_ios_per_txn);
+  printf("%-22s %14llu %18.2f\n", "Aurora with Replicas",
+         static_cast<unsigned long long>(aurora.results.txns),
+         aurora_ios_per_txn);
+  printf("\nThroughput ratio (Aurora/MySQL): %.1fx   (paper: 35x)\n",
+         mysql.results.txns
+             ? static_cast<double>(aurora.results.txns) /
+                   static_cast<double>(mysql.results.txns)
+             : 0);
+  printf("IO-per-txn ratio (MySQL/Aurora): %.1fx  (paper: 7.7x)\n",
+         aurora_ios_per_txn ? mysql_ios_per_txn / aurora_ios_per_txn : 0);
+
+  // Per-storage-node view: each of the six replicas sees unamplified
+  // writes (the paper's "46x fewer I/Os requiring processing at this
+  // tier").
+  uint64_t batches_received = 0;
+  for (size_t i = 0; i < aurora.cluster->num_storage_nodes(); ++i) {
+    batches_received += aurora.cluster->storage_node(i)->stats()
+                            .batches_received;
+  }
+  printf("\nAurora storage tier: %llu batch receipts across the fleet "
+         "(%.2f per transaction per replica)\n",
+         static_cast<unsigned long long>(batches_received),
+         aurora.results.txns ? static_cast<double>(batches_received) / 6.0 /
+                                   static_cast<double>(aurora.results.txns)
+                             : 0);
+}
+
+}  // namespace
+}  // namespace aurora::bench
+
+int main() {
+  aurora::bench::Run();
+  return 0;
+}

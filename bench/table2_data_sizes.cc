@@ -1,0 +1,61 @@
+// Table 2: "SysBench Write-Only (writes/sec)" vs database size:
+//
+//     DB Size   Amazon Aurora    MySQL
+//     1 GB          107,000       8,400
+//     10 GB         107,000       2,400
+//     100 GB        101,000       1,500
+//     1 TB           41,000       1,200
+//
+// The mechanism: Aurora stays flat until the working set leaves the cache
+// (page fetches from storage slow the read-modify-write path at 1TB);
+// MySQL degrades much earlier because dirty-page write-back and cache
+// misses ride the same synchronous EBS chains as commits.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace aurora::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 2: SysBench write-only writes/sec vs DB size",
+              "Table 2 (§6.1.2)");
+
+  struct Point {
+    const char* label;
+    double gb;
+  };
+  const Point sizes[] = {{"1 GB", 1}, {"10 GB", 10}, {"100 GB", 100},
+                         {"1 TB", 1024}};
+
+  printf("%-8s %16s %14s %8s\n", "DB Size", "Aurora writes/s",
+         "MySQL writes/s", "ratio");
+  for (const Point& p : sizes) {
+    SysbenchOptions sopts;
+    sopts.mode = SysbenchOptions::Mode::kWriteOnly;
+    sopts.connections = 50;
+    sopts.duration = Seconds(3);
+    sopts.warmup = Millis(500);
+    const uint64_t rows = RowsForGb(p.gb);
+
+    AuroraRun aurora =
+        RunAuroraSysbench(StandardAuroraOptions(), sopts, rows);
+    MysqlRun mysql = RunMysqlSysbench(StandardMysqlOptions(), sopts, rows);
+
+    double a = aurora.results.writes_per_sec();
+    double m = mysql.results.writes_per_sec();
+    printf("%-8s %16.0f %14.0f %7.1fx\n", p.label, a, m, m > 0 ? a / m : 0);
+  }
+  printf("\nExpected shape: Aurora flat in-cache then dropping at 1TB\n");
+  printf("(paper: 107K -> 41K); MySQL degrading throughout (8.4K -> 1.2K);\n");
+  printf("Aurora ahead by 10-67x everywhere.\n");
+}
+
+}  // namespace
+}  // namespace aurora::bench
+
+int main() {
+  aurora::bench::Run();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table 3: "SysBench OLTP (writes/sec)" vs connection count:
+//
+//     Connections   Amazon Aurora   MySQL
+//     50                  40,000    10,000
+//     500                 71,000    21,000
+//     5,000              110,000    13,000
+//
+// Aurora keeps scaling because commits are asynchronous (worker threads
+// never block on log hardening) and the storage fleet absorbs the I/O;
+// MySQL peaks near 500 connections and then collapses under mutex and
+// scheduler contention plus its serialized group commit.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace aurora::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 3: SysBench OLTP writes/sec vs connections",
+              "Table 3 (§6.1.3)");
+
+  const int conns[] = {50, 500, 5000};
+
+  printf("%-12s %16s %14s\n", "Connections", "Aurora writes/s",
+         "MySQL writes/s");
+  for (int c : conns) {
+    // The paper's 10GB table has ~25M rows; at the simulated scale we keep
+    // rows-per-connection high enough that lock-collision probability
+    // matches the paper's regime rather than an artifact of tiny tables
+    // (40 rows/connection keeps expected write-lock collisions per instant
+    // in the single digits at 5,000 connections), while bounding the
+    // touched-page footprint.
+    const uint64_t rows =
+        std::max<uint64_t>(RowsForGb(10), static_cast<uint64_t>(c) * 40);
+    SysbenchOptions sopts;
+    sopts.mode = SysbenchOptions::Mode::kOltp;
+    sopts.connections = c;
+    sopts.duration = Seconds(2);
+    sopts.warmup = Millis(500);
+
+    AuroraRun aurora =
+        RunAuroraSysbench(StandardAuroraOptions(), sopts, rows);
+    MysqlClusterOptions mopts = StandardMysqlOptions();
+    // Per-statement penalty growing with open connections: the documented
+    // model of MySQL's contention collapse (DESIGN.md).
+    mopts.mysql.cpu_contention_per_connection_us = 0.05;
+    MysqlRun mysql = RunMysqlSysbench(mopts, sopts, rows);
+
+    printf("%-12d %16.0f %14.0f\n", c, aurora.results.writes_per_sec(),
+           mysql.results.writes_per_sec());
+  }
+  printf("\nExpected shape: Aurora rising through 5,000 connections;\n");
+  printf("MySQL peaking around 500 then dropping (paper: 21K -> 13K).\n");
+}
+
+}  // namespace
+}  // namespace aurora::bench
+
+int main() {
+  aurora::bench::Run();
+  return 0;
+}

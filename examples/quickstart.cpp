@@ -1,0 +1,83 @@
+// Quickstart: stand up a complete Aurora cluster in the deterministic
+// simulation — three AZs, a storage fleet, one writer and a read replica —
+// create a table, run transactions, crash the writer, and recover.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "harness/cluster.h"
+
+using namespace aurora;  // examples only; library code never does this
+
+int main() {
+  // 1. A cluster: 3 AZs x 4 storage hosts, one writer, one read replica.
+  ClusterOptions options;
+  options.engine.page_size = 4096;
+  options.num_replicas = 1;
+  AuroraCluster cluster(options);
+
+  // 2. Bootstrap a fresh volume (formats the catalog, waits for the 4/6
+  //    write quorum to harden it).
+  Status s = cluster.BootstrapSync();
+  printf("bootstrap: %s\n", s.ToString().c_str());
+
+  // 3. Create a table and write through a transaction.
+  s = cluster.CreateTableSync("accounts");
+  printf("create table: %s\n", s.ToString().c_str());
+  PageId accounts = *cluster.TableAnchorSync("accounts");
+
+  s = cluster.PutSync(accounts, "alice", "balance=100");
+  printf("put alice: %s\n", s.ToString().c_str());
+  s = cluster.PutSync(accounts, "bob", "balance=250");
+  printf("put bob:   %s\n", s.ToString().c_str());
+
+  // 4. Read from the writer, and from the replica (which consumed the redo
+  //    stream — no page was ever shipped).
+  auto alice = cluster.GetSync(accounts, "alice");
+  printf("writer read alice:  %s\n",
+         alice.ok() ? alice->c_str() : alice.status().ToString().c_str());
+  cluster.RunFor(Millis(50));  // let the replica stream catch up
+  auto from_replica = cluster.ReplicaGetSync(0, accounts, "bob");
+  printf("replica read bob:   %s\n",
+         from_replica.ok() ? from_replica->c_str()
+                           : from_replica.status().ToString().c_str());
+
+  // 5. A multi-statement transaction with rollback.
+  TxnId txn = cluster.writer()->Begin();
+  bool done = false;
+  cluster.writer()->Put(txn, accounts, "alice", "balance=0", [&](Status ps) {
+    printf("txn put: %s — rolling back\n", ps.ToString().c_str());
+    cluster.writer()->Rollback(txn, [&](Status rs) {
+      printf("rollback: %s\n", rs.ToString().c_str());
+      done = true;
+    });
+  });
+  cluster.RunUntil([&] { return done; }, Seconds(10));
+  printf("alice after rollback: %s\n",
+         cluster.GetSync(accounts, "alice")->c_str());
+
+  // 6. Crash the writer and recover: the log IS the database — the new
+  //    incarnation rebuilds its state from a read quorum per protection
+  //    group, with no redo replay.
+  cluster.CrashWriter();
+  SimTime t0 = cluster.loop()->now();
+  s = cluster.RecoverSync();
+  printf("recovery: %s in %.1f ms (simulated)\n", s.ToString().c_str(),
+         ToMillis(cluster.loop()->now() - t0));
+  printf("alice after recovery: %s\n",
+         cluster.GetSync(accounts, "alice")->c_str());
+  printf("bob after recovery:   %s\n",
+         cluster.GetSync(accounts, "bob")->c_str());
+
+  // 7. Where did the bytes go? Only redo log records crossed the network.
+  const EngineStats& st = cluster.writer()->stats();
+  printf("\nwriter stats: %llu txns committed, %llu log batches, "
+         "%llu storage page reads\n",
+         static_cast<unsigned long long>(st.txns_committed),
+         static_cast<unsigned long long>(st.log_batches_sent),
+         static_cast<unsigned long long>(st.storage_page_reads));
+  return 0;
+}

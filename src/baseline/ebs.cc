@@ -1,0 +1,187 @@
+#include "baseline/ebs.h"
+
+#include "common/coding.h"
+#include "storage/wire.h"
+
+namespace aurora::baseline {
+
+namespace {
+
+// EBS wire format: varint op id | 1 byte kind | lp key | lp payload.
+enum EbsKind : uint8_t {
+  kWriteReq = 1,
+  kReadReq = 2,
+  kMirrorCopy = 3,
+  kMirrorAck = 4,
+  kWriteAck = 5,
+  kReadResp = 6,
+  kReadMiss = 7,
+};
+
+std::string Encode(uint64_t op, EbsKind kind, const Slice& key,
+                   const Slice& payload) {
+  std::string out;
+  PutVarint64(&out, op);
+  out.push_back(static_cast<char>(kind));
+  PutLengthPrefixedSlice(&out, key);
+  PutLengthPrefixedSlice(&out, payload);
+  return out;
+}
+
+bool Decode(Slice in, uint64_t* op, EbsKind* kind, Slice* key,
+            Slice* payload) {
+  if (!GetVarint64(&in, op) || in.empty()) return false;
+  *kind = static_cast<EbsKind>(in[0]);
+  in.remove_prefix(1);
+  return GetLengthPrefixedSlice(&in, key) &&
+         GetLengthPrefixedSlice(&in, payload);
+}
+
+}  // namespace
+
+EbsVolume::EbsVolume(sim::EventLoop* loop, sim::Network* network,
+                     sim::NodeId server, sim::NodeId mirror,
+                     sim::DiskOptions disk_options, Random rng)
+    : loop_(loop),
+      network_(network),
+      server_(server),
+      mirror_(mirror),
+      server_disk_(loop, disk_options, rng.Fork()),
+      mirror_disk_(loop, disk_options, rng.Fork()) {
+  network_->Register(server_, [this](const sim::Message& m) {
+    HandleServerMessage(m);
+  });
+  network_->Register(mirror_, [this](const sim::Message& m) {
+    HandleMirrorMessage(m);
+  });
+}
+
+void EbsVolume::Write(sim::NodeId client, const std::string& key,
+                      std::string bytes, std::function<void(Status)> done) {
+  uint64_t op = next_op_++;
+  PendingOp p;
+  p.client = client;
+  p.write_done = std::move(done);
+  pending_[op] = std::move(p);
+  network_->Send(client, server_, kMsgEbsWrite,
+                 Encode(op, kWriteReq, key, bytes));
+}
+
+void EbsVolume::Read(sim::NodeId client, const std::string& key,
+                     std::function<void(Result<std::string>)> done) {
+  uint64_t op = next_op_++;
+  PendingOp p;
+  p.client = client;
+  p.read_done = std::move(done);
+  pending_[op] = std::move(p);
+  network_->Send(client, server_, kMsgEbsRead, Encode(op, kReadReq, key, ""));
+}
+
+void EbsVolume::HandleServerMessage(const sim::Message& msg) {
+  uint64_t op;
+  EbsKind kind;
+  Slice key, payload;
+  if (!Decode(msg.payload, &op, &kind, &key, &payload)) return;
+  switch (kind) {
+    case kWriteReq: {
+      // Persist locally, then forward to the AZ-local mirror; the client is
+      // acknowledged only after the mirror acknowledges (Figure 2 step 1-2).
+      std::string k = key.ToString();
+      std::string bytes = payload.ToString();
+      ++writes_;
+      bytes_written_ += bytes.size();
+      server_disk_.Write(bytes.size(), [this, op, k, bytes,
+                                        from = msg.from](Status s) {
+        if (!s.ok()) return;
+        objects_[k] = bytes;
+        network_->Send(server_, mirror_, kMsgEbsWrite,
+                       Encode(op, kMirrorCopy, k, bytes));
+        // The client address rides in pending_; from == client.
+        (void)from;
+      });
+      break;
+    }
+    case kMirrorAck: {
+      auto it = pending_.find(op);
+      if (it == pending_.end()) return;
+      sim::NodeId client = it->second.client;
+      network_->Send(server_, client, kMsgEbsWriteAck,
+                     Encode(op, kWriteAck, key, ""));
+      break;
+    }
+    case kReadReq: {
+      std::string k = key.ToString();
+      auto obj = objects_.find(k);
+      bool found = obj != objects_.end();
+      std::string bytes = found ? obj->second : "";
+      server_disk_.Read(found ? bytes.size() : 64,
+                        [this, op, k, bytes, found,
+                         from = msg.from](Status s) {
+                          if (!s.ok()) return;
+                          network_->Send(server_, from, kMsgEbsReadResp,
+                                         Encode(op,
+                                                found ? kReadResp : kReadMiss,
+                                                k, bytes));
+                        });
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void EbsVolume::HandleMirrorMessage(const sim::Message& msg) {
+  uint64_t op;
+  EbsKind kind;
+  Slice key, payload;
+  if (!Decode(msg.payload, &op, &kind, &key, &payload)) return;
+  if (kind != kMirrorCopy) return;
+  std::string k = key.ToString();
+  size_t n = payload.size();
+  mirror_disk_.Write(n, [this, op, k](Status s) {
+    if (!s.ok()) return;
+    network_->Send(mirror_, server_, kMsgEbsWrite,
+                   Encode(op, kMirrorAck, k, ""));
+  });
+}
+
+void EbsVolume::HandleClientSide(const sim::Message& msg) {
+  uint64_t op;
+  EbsKind kind;
+  Slice key, payload;
+  if (!Decode(msg.payload, &op, &kind, &key, &payload)) return;
+  auto it = pending_.find(op);
+  if (it == pending_.end()) return;
+  PendingOp p = std::move(it->second);
+  pending_.erase(it);
+  switch (kind) {
+    case kWriteAck:
+      if (p.write_done) p.write_done(Status::OK());
+      break;
+    case kReadResp:
+      if (p.read_done) p.read_done(payload.ToString());
+      break;
+    case kReadMiss:
+      if (p.read_done) p.read_done(Status::NotFound("no such object"));
+      break;
+    default:
+      break;
+  }
+}
+
+Result<std::string> EbsVolume::GetSync(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no such object");
+  return it->second;
+}
+
+std::vector<std::string> EbsVolume::ListKeys(const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+}  // namespace aurora::baseline

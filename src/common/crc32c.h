@@ -1,0 +1,35 @@
+#ifndef AURORA_COMMON_CRC32C_H_
+#define AURORA_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aurora::crc32c {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41), software table-driven
+/// implementation. Used for log record checksums, page checksums and the
+/// storage-node scrubber (Figure 4 step 8).
+
+/// Returns the CRC of `data[0..n-1]` continuing from `init_crc`, which must
+/// be the result of a previous Extend() (or 0 for a fresh computation).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// CRC of `data[0..n-1]`.
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+/// Masked CRC, RocksDB-style: storing the CRC of data that itself contains
+/// CRCs can lead to coincidental collisions, so stored CRCs are masked.
+constexpr uint32_t kMaskDelta = 0xa282ead8ul;
+
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace aurora::crc32c
+
+#endif  // AURORA_COMMON_CRC32C_H_

@@ -1,0 +1,81 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace aurora {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  int msb = 63 - std::countl_zero(value);
+  int octave = msb - kSubBucketBits + 1;
+  auto sub = static_cast<int>(value >> octave) & (kSubBuckets - 1);
+  int idx = (octave + 1) * kSubBuckets + sub;
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < kSubBuckets) return static_cast<uint64_t>(bucket);
+  int octave = bucket / kSubBuckets - 1;
+  int sub = bucket % kSubBuckets;
+  // Values v in this bucket satisfy (v >> octave) == sub, so the largest is
+  // ((sub + 1) << octave) - 1.
+  return (static_cast<uint64_t>(sub + 1) << octave) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  ++count_;
+  sum_ += value;
+  if (count_ == 1 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  buckets_.assign(kBuckets, 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0) return min_;
+  if (p >= 100) return max_;
+  auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.9999);
+  if (target == 0) target = 1;
+  if (target > count_) target = count_;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      uint64_t ub = BucketUpperBound(i);
+      return ub > max_ ? max_ : ub;
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "n=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu",
+           static_cast<unsigned long long>(count_), mean(),
+           static_cast<unsigned long long>(P50()),
+           static_cast<unsigned long long>(P95()),
+           static_cast<unsigned long long>(P99()),
+           static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace aurora

@@ -1,0 +1,56 @@
+#ifndef AURORA_COMMON_HISTOGRAM_H_
+#define AURORA_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aurora {
+
+/// Log-bucketed latency histogram (HdrHistogram-lite). Records non-negative
+/// values (we use microseconds) and answers percentile queries with bounded
+/// relative error (~4%). Used by the benchmark harness for P50/P95/P99 series
+/// (Figures 9 & 10) and by internal metrics.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
+  }
+
+  /// Value at percentile p in [0, 100].
+  uint64_t Percentile(double p) const;
+
+  uint64_t P50() const { return Percentile(50); }
+  uint64_t P95() const { return Percentile(95); }
+  uint64_t P99() const { return Percentile(99); }
+
+  /// One-line summary, e.g. "n=1000 mean=42us p50=40 p95=90 p99=120 max=300".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBuckets = (64 - kSubBucketBits) * kSubBuckets;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_COMMON_HISTOGRAM_H_

@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+
+namespace aurora {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace log_internal {
+
+void Logf(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  const char* name = "?";
+  switch (level) {
+    case LogLevel::kDebug:
+      name = "DEBUG";
+      break;
+    case LogLevel::kInfo:
+      name = "INFO";
+      break;
+    case LogLevel::kWarn:
+      name = "WARN";
+      break;
+    case LogLevel::kError:
+      name = "ERROR";
+      break;
+  }
+  // Strip directories from the path for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  fprintf(stderr, "[%s %s:%d] ", name, base, line);
+  va_list ap;
+  va_start(ap, fmt);
+  vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  fputc('\n', stderr);
+}
+
+}  // namespace log_internal
+}  // namespace aurora

@@ -1,0 +1,48 @@
+#ifndef AURORA_COMMON_LOGGING_H_
+#define AURORA_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aurora {
+
+/// Minimal diagnostic logging. The library is quiet by default; tests and
+/// benches can raise the level. AURORA_CHECK aborts on violated internal
+/// invariants (programming errors, not recoverable conditions — those use
+/// Status).
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are suppressed.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace log_internal {
+void Logf(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+}  // namespace log_internal
+
+#define AURORA_LOG(level, ...)                                              \
+  do {                                                                      \
+    if (static_cast<int>(level) >=                                          \
+        static_cast<int>(::aurora::GetLogLevel())) {                        \
+      ::aurora::log_internal::Logf(level, __FILE__, __LINE__, __VA_ARGS__); \
+    }                                                                       \
+  } while (0)
+
+#define AURORA_DEBUG(...) AURORA_LOG(::aurora::LogLevel::kDebug, __VA_ARGS__)
+#define AURORA_INFO(...) AURORA_LOG(::aurora::LogLevel::kInfo, __VA_ARGS__)
+#define AURORA_WARN(...) AURORA_LOG(::aurora::LogLevel::kWarn, __VA_ARGS__)
+#define AURORA_ERROR(...) AURORA_LOG(::aurora::LogLevel::kError, __VA_ARGS__)
+
+#define AURORA_CHECK(cond, ...)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::aurora::log_internal::Logf(::aurora::LogLevel::kError, __FILE__,    \
+                                   __LINE__, "CHECK failed: %s", #cond);    \
+      abort();                                                              \
+    }                                                                       \
+  } while (0)
+
+}  // namespace aurora
+
+#endif  // AURORA_COMMON_LOGGING_H_

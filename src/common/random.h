@@ -1,0 +1,135 @@
+#ifndef AURORA_COMMON_RANDOM_H_
+#define AURORA_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace aurora {
+
+/// Deterministic, fast PRNG (xorshift64*). Every simulation component owns
+/// its own seeded instance so runs are reproducible regardless of the order
+/// in which components draw numbers.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(hi >= lo);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return (Next() >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa
+  }
+
+  /// Exponentially distributed with the given mean (> 0).
+  double Exponential(double mean) {
+    assert(mean > 0);
+    double u = NextDouble();
+    if (u <= 0.0) u = 1e-18;
+    return -mean * std::log(u);
+  }
+
+  /// Approximately normal via the Box-Muller transform.
+  double Normal(double mean, double stddev) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) u1 = 1e-18;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Log-normal with the given median and sigma of the underlying normal.
+  /// Heavy-tailed: used to model latency outliers ("the tail at scale").
+  double LogNormal(double median, double sigma) {
+    return median * std::exp(sigma * Normal(0.0, 1.0));
+  }
+
+  /// Returns a fresh generator whose seed is derived from this one; use to
+  /// give each component an independent deterministic stream.
+  Random Fork() { return Random(Next() ^ 0xD1B54A32D192ED03ull); }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf-distributed integers in [0, n): rank-frequency skew used for hot-row
+/// workloads (TPC-C-style contention). Uses the rejection-inversion method of
+/// W. Hormann & G. Derflinger, which needs O(1) setup and no tables.
+class Zipf {
+ public:
+  /// theta in (0, 1) is the classic YCSB skew parameter; values near 1 are
+  /// highly skewed. theta == 0 degenerates to uniform.
+  Zipf(uint64_t n, double theta) : n_(n), theta_(theta) {
+    assert(n > 0);
+    if (theta_ > 0) {
+      zeta2_ = ZetaStatic(2, theta_);
+      zeta_n_ = ZetaStatic(n_, theta_);
+      alpha_ = 1.0 / (1.0 - theta_);
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+             (1.0 - zeta2_ / zeta_n_);
+    }
+  }
+
+  uint64_t Sample(Random* rng) const {
+    if (theta_ <= 0) return rng->Uniform(n_);
+    double u = rng->NextDouble();
+    double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    auto v = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+ private:
+  static double ZetaStatic(uint64_t n, double theta) {
+    // Exact for small n, approximated by the integral for large n.
+    if (n <= 10000) {
+      double sum = 0;
+      for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+      return sum;
+    }
+    double sum = 0;
+    for (uint64_t i = 1; i <= 10000; ++i) sum += 1.0 / std::pow(i, theta);
+    // Integral tail from 10000 to n of x^-theta dx.
+    sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+            std::pow(10000.0, 1.0 - theta)) /
+           (1.0 - theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zeta2_ = 0, zeta_n_ = 0, alpha_ = 0, eta_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_COMMON_RANDOM_H_

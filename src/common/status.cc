@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace aurora {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kTimedOut:
+      return "TimedOut";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kStale:
+      return "Stale";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace aurora

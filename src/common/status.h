@@ -1,0 +1,105 @@
+#ifndef AURORA_COMMON_STATUS_H_
+#define AURORA_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace aurora {
+
+/// Error-handling model for the whole library (no exceptions on the data
+/// path, RocksDB-style). A `Status` is either `ok()` or carries a coarse
+/// `Code` plus a human-readable message. Functions that produce a value use
+/// `Result<T>` (see result.h).
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kBusy = 5,            // back-pressure (e.g. LAL limit reached)
+    kTimedOut = 6,        // quorum not reached in time
+    kAborted = 7,         // transaction aborted (deadlock, conflict)
+    kUnavailable = 8,     // quorum lost / node down
+    kNotSupported = 9,
+    kOutOfRange = 10,
+    kStale = 11,          // stale epoch / superseded request
+  };
+
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg = "") {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Busy(std::string_view msg = "") {
+    return Status(Code::kBusy, msg);
+  }
+  static Status TimedOut(std::string_view msg = "") {
+    return Status(Code::kTimedOut, msg);
+  }
+  static Status Aborted(std::string_view msg = "") {
+    return Status(Code::kAborted, msg);
+  }
+  static Status Unavailable(std::string_view msg = "") {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status OutOfRange(std::string_view msg = "") {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status Stale(std::string_view msg = "") {
+    return Status(Code::kStale, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsStale() const { return code_ == Code::kStale; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef AURORA_COMMON_UNITS_H_
+#define AURORA_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace aurora {
+
+/// Size and time unit helpers. Simulated time is in microseconds throughout.
+
+constexpr uint64_t KiB(uint64_t n) { return n * 1024ull; }
+constexpr uint64_t MiB(uint64_t n) { return n * 1024ull * 1024ull; }
+constexpr uint64_t GiB(uint64_t n) { return n * 1024ull * 1024ull * 1024ull; }
+
+/// Simulated time, microseconds since simulation start.
+using SimTime = uint64_t;
+/// A duration in simulated microseconds.
+using SimDuration = uint64_t;
+
+constexpr SimDuration Micros(uint64_t n) { return n; }
+constexpr SimDuration Millis(uint64_t n) { return n * 1000ull; }
+constexpr SimDuration Seconds(uint64_t n) { return n * 1000000ull; }
+constexpr SimDuration Minutes(uint64_t n) { return n * 60ull * 1000000ull; }
+
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+}  // namespace aurora
+
+#endif  // AURORA_COMMON_UNITS_H_

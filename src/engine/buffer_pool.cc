@@ -1,0 +1,103 @@
+#include "engine/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace aurora {
+
+Page* BufferPool::Lookup(PageId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  Touch(&it->second, id);
+  return &it->second.page;
+}
+
+void BufferPool::Touch(Entry* e, PageId id) {
+  lru_.erase(e->lru_it);
+  lru_.push_front(id);
+  e->lru_it = lru_.begin();
+}
+
+Page* BufferPool::Install(PageId id, Page page) {
+  ++stats_.installs;
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    // Already resident (duplicate fetch landed); keep the resident copy,
+    // which may be newer (it absorbs writes).
+    Touch(&it->second, id);
+    return &it->second.page;
+  }
+  auto [new_it, inserted] = entries_.emplace(id, Entry(std::move(page)));
+  lru_.push_front(id);
+  new_it->second.lru_it = lru_.begin();
+  return &new_it->second.page;
+}
+
+Page* BufferPool::InstallNew(PageId id) {
+  return Install(id, Page(page_size_));
+}
+
+void BufferPool::Pin(PageId id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) it->second.pinned = true;
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) it->second.pinned = false;
+}
+
+void BufferPool::Discard(PageId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void BufferPool::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+void BufferPool::EvictExcess() { MaybeEvict(); }
+
+void BufferPool::MaybeEvict() {
+  if (entries_.size() <= capacity_) return;
+  // Scan from coldest; skip pinned pages and pages whose latest change is
+  // not yet durable (page LSN > VDL) — those must stay, even over capacity.
+  auto it = lru_.end();
+  size_t scanned = 0;
+  while (entries_.size() > capacity_ && it != lru_.begin() &&
+         scanned < entries_.size()) {
+    --it;
+    ++scanned;
+    PageId id = *it;
+    Entry& e = entries_.at(id);
+    if (e.pinned) continue;
+    if (e.page.IsFormatted() && e.page.page_lsn() > *vdl_) {
+      ++stats_.eviction_blocked;
+      continue;
+    }
+    if (evict_filter_ && !evict_filter_(id, e.page)) {
+      ++stats_.eviction_blocked;
+      continue;
+    }
+    auto to_erase = it++;
+    lru_.erase(to_erase);
+    entries_.erase(id);
+    ++stats_.evictions;
+  }
+}
+
+size_t BufferPool::CountAboveVdl() const {
+  size_t n = 0;
+  for (const auto& [id, e] : entries_) {
+    if (e.page.IsFormatted() && e.page.page_lsn() > *vdl_) ++n;
+  }
+  return n;
+}
+
+}  // namespace aurora

@@ -1,0 +1,111 @@
+#ifndef AURORA_ENGINE_BUFFER_POOL_H_
+#define AURORA_ENGINE_BUFFER_POOL_H_
+
+#include <functional>
+#include <list>
+#include <map>
+#include <set>
+
+#include "common/result.h"
+#include "log/types.h"
+#include "page/page.h"
+
+namespace aurora {
+
+/// Buffer-pool counters.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t eviction_blocked = 0;  // candidate page had page LSN > VDL
+  uint64_t installs = 0;
+};
+
+/// The writer's (and each replica's) page cache.
+///
+/// Aurora never writes a page back on eviction — pages on storage are
+/// materialized from the log — but it enforces the §4.2.3 rule: a page may
+/// be evicted only if its page LSN is at or below the VDL, guaranteeing that
+/// (a) every change to the page is hardened in the durable log and (b) a
+/// re-fetch at read-point = VDL returns the latest version. (The paper's
+/// text states this inequality reversed; see DESIGN.md for the erratum
+/// note.)
+///
+/// Misses are asynchronous: Lookup returns nullptr, the caller starts a
+/// storage fetch, and Install() makes the page resident.
+class BufferPool {
+ public:
+  /// `vdl` is consulted at eviction time and must outlive the pool.
+  BufferPool(size_t capacity_pages, size_t page_size, const Lsn* vdl)
+      : capacity_(capacity_pages), page_size_(page_size), vdl_(vdl) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the resident page (touching LRU) or nullptr on miss.
+  Page* Lookup(PageId id);
+  bool Contains(PageId id) const { return entries_.count(id) > 0; }
+
+  /// Makes a fetched page resident. Never evicts synchronously — callers
+  /// invoke EvictExcess() at a safe point (no operation holding raw page
+  /// pointers may be on the stack), typically right after a fetch lands and
+  /// before its waiters are resumed.
+  Page* Install(PageId id, Page page);
+
+  /// Evicts cold pages (respecting the VDL rule, pins and the filter) until
+  /// the pool is back at capacity or nothing more is evictable.
+  void EvictExcess();
+
+  /// Creates a brand-new resident page (allocation path; no storage fetch).
+  Page* InstallNew(PageId id);
+
+  /// Marks a page unevictable (allocator meta page, tree anchors).
+  void Pin(PageId id);
+  void Unpin(PageId id);
+
+  /// Additional eviction veto (the mirrored-MySQL baseline vetoes dirty
+  /// pages, which must be flushed before leaving the pool). Return false to
+  /// keep the page resident.
+  void set_evict_filter(std::function<bool(PageId, const Page&)> filter) {
+    evict_filter_ = std::move(filter);
+  }
+
+  /// Drops a page regardless of rules (replica cache invalidation).
+  void Discard(PageId id);
+
+  /// Drops everything (crash simulation).
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t pages) { capacity_ = pages; }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+
+  /// Number of resident pages whose page LSN exceeds the VDL (unevictable
+  /// "dirty-like" pages awaiting durability).
+  size_t CountAboveVdl() const;
+
+ private:
+  struct Entry {
+    Page page;
+    std::list<PageId>::iterator lru_it;
+    bool pinned = false;
+    explicit Entry(Page p) : page(std::move(p)) {}
+  };
+
+  void Touch(Entry* e, PageId id);
+  void MaybeEvict();
+
+  size_t capacity_;
+  size_t page_size_;
+  const Lsn* vdl_;
+  std::function<bool(PageId, const Page&)> evict_filter_;
+  std::map<PageId, Entry> entries_;
+  std::list<PageId> lru_;  // front = most recent
+  BufferPoolStats stats_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_ENGINE_BUFFER_POOL_H_

@@ -1,0 +1,205 @@
+#include "engine/lock_manager.h"
+
+#include "common/logging.h"
+
+namespace aurora {
+
+bool LockManager::Compatible(const LockState& s, TxnId txn, LockMode mode) {
+  if (mode == LockMode::kShared) {
+    return s.exclusive_holder == kInvalidTxn || s.exclusive_holder == txn;
+  }
+  // Exclusive: no other holder of any kind.
+  if (s.exclusive_holder != kInvalidTxn && s.exclusive_holder != txn) {
+    return false;
+  }
+  for (TxnId h : s.shared_holders) {
+    if (h != txn) return false;
+  }
+  return true;
+}
+
+void LockManager::CollectBlockers(const LockState& s, TxnId skip,
+                                  std::set<TxnId>* out) const {
+  if (s.exclusive_holder != kInvalidTxn && s.exclusive_holder != skip) {
+    out->insert(s.exclusive_holder);
+  }
+  for (TxnId h : s.shared_holders) {
+    if (h != skip) out->insert(h);
+  }
+}
+
+bool LockManager::WouldDeadlock(TxnId waiter, const LockState& s) {
+  // DFS over the wait-for graph: waiter -> holders of s -> what they wait
+  // on -> ... A path back to `waiter` is a cycle.
+  std::set<TxnId> frontier;
+  CollectBlockers(s, waiter, &frontier);
+  std::set<TxnId> visited;
+  while (!frontier.empty()) {
+    TxnId t = *frontier.begin();
+    frontier.erase(frontier.begin());
+    if (t == waiter) return true;
+    if (!visited.insert(t).second) continue;
+    auto wit = waiting_on_.find(t);
+    if (wit == waiting_on_.end()) continue;
+    auto lit = locks_.find(wit->second);
+    if (lit == locks_.end()) continue;
+    CollectBlockers(lit->second, kInvalidTxn, &frontier);
+  }
+  return false;
+}
+
+Status LockManager::Lock(TxnId txn, PageId tree, const std::string& key,
+                         LockMode mode, std::function<void(Status)> granted) {
+  LockName name{tree, key};
+  LockState& s = locks_[name];
+
+  // Re-entrant fast paths.
+  if (mode == LockMode::kShared &&
+      (s.shared_holders.count(txn) || s.exclusive_holder == txn)) {
+    ++stats_.grants;
+    return Status::OK();
+  }
+  if (mode == LockMode::kExclusive && s.exclusive_holder == txn) {
+    ++stats_.grants;
+    return Status::OK();
+  }
+
+  // Grant only if compatible AND no one is already queued (FIFO fairness;
+  // prevents writer starvation under reader storms).
+  if (Compatible(s, txn, mode) && s.waiters.empty()) {
+    if (mode == LockMode::kShared) {
+      s.shared_holders.insert(txn);
+    } else {
+      s.shared_holders.erase(txn);  // S -> X upgrade
+      s.exclusive_holder = txn;
+    }
+    held_by_[txn].insert(name);
+    ++stats_.grants;
+    return Status::OK();
+  }
+
+  // An upgrade that must wait behind others is a classic deadlock source;
+  // the wait-for check below covers it because we still hold our S lock.
+  if (WouldDeadlock(txn, s)) {
+    ++stats_.deadlocks;
+    if (locks_[name].waiters.empty() && !locks_[name].held()) {
+      locks_.erase(name);
+    }
+    return Status::Aborted("deadlock detected");
+  }
+
+  ++stats_.waits;
+  Waiter w;
+  w.txn = txn;
+  w.mode = mode;
+  w.granted = std::move(granted);
+  w.timeout_event = loop_->Schedule(lock_timeout_, [this, name, txn]() {
+    ++stats_.timeouts;
+    RemoveWaiter(name, txn, Status::TimedOut("lock wait timeout"));
+  });
+  s.waiters.push_back(std::move(w));
+  waiting_on_[txn] = name;
+  return Status::Busy("lock queued");
+}
+
+void LockManager::RemoveWaiter(const LockName& name, TxnId txn,
+                               Status reason) {
+  auto it = locks_.find(name);
+  if (it == locks_.end()) return;
+  auto& waiters = it->second.waiters;
+  for (auto w = waiters.begin(); w != waiters.end(); ++w) {
+    if (w->txn != txn) continue;
+    loop_->Cancel(w->timeout_event);
+    auto granted = std::move(w->granted);
+    waiters.erase(w);
+    waiting_on_.erase(txn);
+    // Removing a waiter may unblock those behind it.
+    GrantWaiters(name);
+    it = locks_.find(name);
+    if (it != locks_.end() && !it->second.held() &&
+        it->second.waiters.empty()) {
+      locks_.erase(it);
+    }
+    if (granted) granted(reason);
+    return;
+  }
+}
+
+void LockManager::GrantWaiters(const LockName& name) {
+  // The grant callback may re-enter the lock manager (acquire further
+  // locks, release everything, even erase this lock name), so state is
+  // re-resolved from the table on every iteration.
+  while (true) {
+    auto it = locks_.find(name);
+    if (it == locks_.end()) return;
+    LockState& s = it->second;
+    if (s.waiters.empty()) return;
+    Waiter& w = s.waiters.front();
+    if (!Compatible(s, w.txn, w.mode)) return;
+    if (w.mode == LockMode::kShared) {
+      s.shared_holders.insert(w.txn);
+    } else {
+      s.shared_holders.erase(w.txn);
+      s.exclusive_holder = w.txn;
+    }
+    held_by_[w.txn].insert(name);
+    waiting_on_.erase(w.txn);
+    loop_->Cancel(w.timeout_event);
+    auto granted = std::move(w.granted);
+    s.waiters.pop_front();
+    ++stats_.grants;
+    if (granted) granted(Status::OK());
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  // Cancel an in-flight wait, if any.
+  auto wit = waiting_on_.find(txn);
+  if (wit != waiting_on_.end()) {
+    LockName name = wit->second;
+    auto it = locks_.find(name);
+    if (it != locks_.end()) {
+      auto& waiters = it->second.waiters;
+      for (auto w = waiters.begin(); w != waiters.end(); ++w) {
+        if (w->txn == txn) {
+          loop_->Cancel(w->timeout_event);
+          waiters.erase(w);
+          break;
+        }
+      }
+    }
+    waiting_on_.erase(wit);
+  }
+
+  auto hit = held_by_.find(txn);
+  if (hit == held_by_.end()) return;
+  std::set<LockName> names = std::move(hit->second);
+  held_by_.erase(hit);
+  for (const LockName& name : names) {
+    auto it = locks_.find(name);
+    if (it == locks_.end()) continue;
+    it->second.shared_holders.erase(txn);
+    if (it->second.exclusive_holder == txn) {
+      it->second.exclusive_holder = kInvalidTxn;
+    }
+    GrantWaiters(name);
+    it = locks_.find(name);
+    if (it != locks_.end() && !it->second.held() &&
+        it->second.waiters.empty()) {
+      locks_.erase(it);
+    }
+  }
+}
+
+size_t LockManager::WaitingTxns() const { return waiting_on_.size(); }
+
+void LockManager::Reset() {
+  for (auto& [name, state] : locks_) {
+    for (Waiter& w : state.waiters) loop_->Cancel(w.timeout_event);
+  }
+  locks_.clear();
+  held_by_.clear();
+  waiting_on_.clear();
+}
+
+}  // namespace aurora

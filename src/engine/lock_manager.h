@@ -1,0 +1,114 @@
+#ifndef AURORA_ENGINE_LOCK_MANAGER_H_
+#define AURORA_ENGINE_LOCK_MANAGER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "log/types.h"
+#include "sim/event_loop.h"
+
+namespace aurora {
+
+/// Lock modes: shared (readers) and exclusive (writers).
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+/// Row-level two-phase locking with FIFO queuing and wait-for-graph deadlock
+/// detection. Concurrency control lives entirely in the database engine —
+/// the storage service "presents a unified view of the underlying data"
+/// (§5) and knows nothing about locks.
+///
+/// Single-threaded like the rest of the simulation: Lock() either grants
+/// synchronously (returns OK), queues (returns Busy; `granted` fires later),
+/// or detects a deadlock (returns Aborted; the caller must roll back).
+class LockManager {
+ public:
+  struct Stats {
+    uint64_t grants = 0;
+    uint64_t waits = 0;
+    uint64_t deadlocks = 0;
+    uint64_t timeouts = 0;
+  };
+
+  LockManager(sim::EventLoop* loop, SimDuration lock_timeout)
+      : loop_(loop), lock_timeout_(lock_timeout) {}
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Requests `mode` on (tree, key) for `txn`.
+  /// - OK: granted immediately (also when already held; S->X upgrades are
+  ///   granted when `txn` is the sole holder, queued otherwise).
+  /// - Busy: queued; `granted` will be invoked exactly once with OK (lock
+  ///   acquired), Aborted (deadlock chose this waiter as victim), or
+  ///   TimedOut.
+  /// - Aborted: the request would deadlock; nothing was queued.
+  Status Lock(TxnId txn, PageId tree, const std::string& key, LockMode mode,
+              std::function<void(Status)> granted);
+
+  /// Releases everything `txn` holds and cancels its waits; queued waiters
+  /// may be granted (their callbacks fire synchronously).
+  void ReleaseAll(TxnId txn);
+
+  /// Drops every lock and waiter without firing callbacks (crash
+  /// simulation: the instance's volatile state evaporates).
+  void Reset();
+
+  /// Number of lock names with at least one holder or waiter.
+  size_t ActiveLocks() const { return locks_.size(); }
+  size_t WaitingTxns() const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct LockName {
+    PageId tree;
+    std::string key;
+    bool operator<(const LockName& o) const {
+      return tree != o.tree ? tree < o.tree : key < o.key;
+    }
+  };
+
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    std::function<void(Status)> granted;
+    sim::EventId timeout_event;
+  };
+
+  struct LockState {
+    std::set<TxnId> shared_holders;
+    TxnId exclusive_holder = kInvalidTxn;
+    std::deque<Waiter> waiters;
+    bool held() const {
+      return exclusive_holder != kInvalidTxn || !shared_holders.empty();
+    }
+  };
+
+  /// True if granting (txn, mode) is compatible with current holders.
+  static bool Compatible(const LockState& s, TxnId txn, LockMode mode);
+  /// Grants as many queued waiters as possible (FIFO, no barging).
+  void GrantWaiters(const LockName& name);
+  /// Would `waiter` waiting on `holders` close a cycle in the wait-for
+  /// graph?
+  bool WouldDeadlock(TxnId waiter, const LockState& s);
+  void CollectBlockers(const LockState& s, TxnId skip,
+                       std::set<TxnId>* out) const;
+  void RemoveWaiter(const LockName& name, TxnId txn, Status reason);
+
+  sim::EventLoop* loop_;
+  SimDuration lock_timeout_;
+  std::map<LockName, LockState> locks_;
+  /// txn -> lock names it holds (for ReleaseAll).
+  std::map<TxnId, std::set<LockName>> held_by_;
+  /// txn -> the lock name it is currently waiting on (one at a time).
+  std::map<TxnId, LockName> waiting_on_;
+  Stats stats_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_ENGINE_LOCK_MANAGER_H_

@@ -1,0 +1,60 @@
+#include "harness/bulk_load.h"
+
+namespace aurora {
+
+Result<const SyntheticTableLayout*> AttachSyntheticTable(
+    AuroraCluster* cluster, SyntheticCatalog* catalog,
+    const std::string& name, uint64_t rows, size_t value_size) {
+  const SyntheticTableLayout* layout = nullptr;
+  Result<PageId> result = Status::TimedOut("attach did not finish");
+  bool done = false;
+  size_t page_size = cluster->writer()->options().page_size;
+  cluster->writer()->AttachPreloadedTable(
+      name,
+      [&](PageId first) -> uint64_t {
+        auto t = std::make_unique<SyntheticTableLayout>(first, rows, page_size,
+                                                        value_size);
+        layout = catalog->Add(std::move(t));
+        return layout->page_count();
+      },
+      [&](Result<PageId> r) {
+        result = std::move(r);
+        done = true;
+      });
+  cluster->RunUntil([&] { return done; }, Seconds(60));
+  if (!result.ok()) return result.status();
+  cluster->control_plane()->SetPageSynthesizer(
+      [catalog](PageId page, Page* out) {
+        return catalog->BuildPage(page, out);
+      });
+  return layout;
+}
+
+Result<const SyntheticTableLayout*> AttachSyntheticTableMysql(
+    MysqlCluster* cluster, SyntheticCatalog* catalog, const std::string& name,
+    uint64_t rows, size_t value_size) {
+  const SyntheticTableLayout* layout = nullptr;
+  Result<PageId> result = Status::TimedOut("attach did not finish");
+  bool done = false;
+  size_t page_size = cluster->db()->page_size();
+  cluster->db()->AttachPreloadedTable(
+      name,
+      [&](PageId first) -> uint64_t {
+        auto t = std::make_unique<SyntheticTableLayout>(first, rows, page_size,
+                                                        value_size);
+        layout = catalog->Add(std::move(t));
+        return layout->page_count();
+      },
+      [&](Result<PageId> r) {
+        result = std::move(r);
+        done = true;
+      });
+  cluster->RunUntil([&] { return done; }, Seconds(60));
+  if (!result.ok()) return result.status();
+  cluster->db()->set_page_synthesizer([catalog](PageId page, Page* out) {
+    return catalog->BuildPage(page, out);
+  });
+  return layout;
+}
+
+}  // namespace aurora

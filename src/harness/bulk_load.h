@@ -1,0 +1,28 @@
+#ifndef AURORA_HARNESS_BULK_LOAD_H_
+#define AURORA_HARNESS_BULK_LOAD_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "harness/cluster.h"
+#include "harness/mysql_cluster.h"
+#include "harness/synthetic_table.h"
+
+namespace aurora {
+
+/// Attaches a synthetic pre-loaded table of `rows` rows to an Aurora
+/// cluster: reserves the page-id range in the allocator, registers the
+/// catalog entry, and installs the page synthesizer fleet-wide. Returns the
+/// layout (owned by `catalog`). Runs the event loop until durable.
+Result<const SyntheticTableLayout*> AttachSyntheticTable(
+    AuroraCluster* cluster, SyntheticCatalog* catalog,
+    const std::string& name, uint64_t rows, size_t value_size);
+
+/// Same for the mirrored-MySQL baseline (the synthesizer backs EBS misses).
+Result<const SyntheticTableLayout*> AttachSyntheticTableMysql(
+    MysqlCluster* cluster, SyntheticCatalog* catalog, const std::string& name,
+    uint64_t rows, size_t value_size);
+
+}  // namespace aurora
+
+#endif  // AURORA_HARNESS_BULK_LOAD_H_

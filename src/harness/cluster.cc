@@ -1,0 +1,227 @@
+#include "harness/cluster.h"
+
+#include "common/logging.h"
+
+namespace aurora {
+
+AuroraCluster::AuroraCluster(ClusterOptions options)
+    : options_(options), topology_(options.num_azs) {
+  Random rng(options_.seed);
+  network_ = std::make_unique<sim::Network>(&loop_, &topology_,
+                                            options_.fabric, rng.Fork());
+  control_plane_ = std::make_unique<ControlPlane>(&topology_, rng.Fork());
+  s3_ = std::make_unique<SimS3>(&loop_, SimS3::Options{}, rng.Fork());
+  injector_ = std::make_unique<sim::FailureInjector>(&loop_, network_.get(),
+                                                     &topology_, rng.Fork());
+
+  // Writer instance in AZ 0.
+  writer_node_ = topology_.AddNode(0, "writer");
+  writer_instance_ =
+      std::make_unique<sim::Instance>(&loop_, options_.writer_instance);
+  writer_ = std::make_unique<Database>(&loop_, network_.get(), writer_node_,
+                                       writer_instance_.get(),
+                                       control_plane_.get(), options_.engine,
+                                       rng.Fork());
+
+  // Read replicas spread across AZs (§4.2.4 allows up to 15).
+  for (int i = 0; i < options_.num_replicas; ++i) {
+    sim::AzId az = static_cast<sim::AzId>((i + 1) % options_.num_azs);
+    sim::NodeId node = topology_.AddNode(az, "replica-" + std::to_string(i));
+    replica_instances_.push_back(
+        std::make_unique<sim::Instance>(&loop_, options_.replica_instance));
+    auto replica = std::make_unique<ReadReplica>(
+        &loop_, network_.get(), node, replica_instances_.back().get(),
+        control_plane_.get(), writer_node_, options_.engine, rng.Fork());
+    writer_->AttachReplica(node);
+    replicas_.push_back(std::move(replica));
+  }
+
+  // Storage fleet: N hosts per AZ.
+  for (int az = 0; az < options_.num_azs; ++az) {
+    for (int i = 0; i < options_.storage_nodes_per_az; ++i) {
+      sim::NodeId node = topology_.AddNode(
+          static_cast<sim::AzId>(az),
+          "storage-az" + std::to_string(az) + "-" + std::to_string(i));
+      auto sn = std::make_unique<StorageNode>(
+          &loop_, network_.get(), node, control_plane_.get(), s3_.get(),
+          options_.storage, rng.Fork());
+      control_plane_->RegisterStorageNode(node, sn.get());
+      StorageNode* raw = sn.get();
+      injector_->RegisterNode(node, {[raw] { raw->Crash(); },
+                                     [raw] { raw->Restart(); }});
+      storage_nodes_.push_back(std::move(sn));
+    }
+  }
+
+  repair_ = std::make_unique<RepairManager>(&loop_, network_.get(),
+                                            &topology_, control_plane_.get(),
+                                            options_.repair, rng.Fork());
+  if (options_.start_repair_manager) repair_->Start();
+}
+
+AuroraCluster::~AuroraCluster() = default;
+
+StorageNode* AuroraCluster::storage_node_by_id(sim::NodeId id) {
+  for (auto& sn : storage_nodes_) {
+    if (sn->id() == id) return sn.get();
+  }
+  return nullptr;
+}
+
+void AuroraCluster::CrashWriter() { writer_->Crash(); }
+
+Status AuroraCluster::FailoverToReplicaSync(size_t i) {
+  if (i >= replicas_.size()) {
+    return Status::InvalidArgument("no such replica");
+  }
+  writer_->Crash();
+  // Unhook the dead writer's network identity before destroying it (its
+  // handler closure captures the object).
+  network_->Register(writer_node_, sim::Network::Handler());
+  // Promote: the replica's host becomes the writer. Registering the new
+  // engine takes over the node's network identity; the old replica object
+  // is retired.
+  sim::NodeId node = replicas_[i]->node_id();
+  replicas_[i]->Crash();
+  sim::Instance* instance = replica_instances_[i].get();
+  Random rng(options_.seed ^ (0x9E3779B97F4A7C15ull + i));
+  auto promoted = std::make_unique<Database>(
+      &loop_, network_.get(), node, instance, control_plane_.get(),
+      options_.engine, rng.Fork());
+  // Surviving replicas follow the new writer.
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    if (r == i) continue;
+    promoted->AttachReplica(replicas_[r]->node_id());
+  }
+  retired_replicas_.push_back(std::move(replicas_[i]));
+  replicas_.erase(replicas_.begin() + static_cast<long>(i));
+  // Keep the replaced instance object alive alongside the promoted engine
+  // (the new writer runs on it).
+  retired_writers_.push_back(std::move(writer_));
+  writer_ = std::move(promoted);
+  writer_node_ = node;
+  return RecoverSync();
+}
+
+bool AuroraCluster::RunUntil(std::function<bool()> pred, SimDuration max) {
+  const SimTime deadline = loop_.now() + max;
+  while (!pred() && loop_.now() < deadline) {
+    if (!loop_.RunOne()) {
+      // Queue drained before the predicate held.
+      return pred();
+    }
+  }
+  return pred();
+}
+
+Status AuroraCluster::BootstrapSync() {
+  Status result = Status::TimedOut("bootstrap did not finish");
+  bool done = false;
+  writer_->Bootstrap([&](Status s) {
+    result = s;
+    done = true;
+  });
+  RunUntil([&] { return done; }, Seconds(30));
+  return result;
+}
+
+Status AuroraCluster::RecoverSync() {
+  Status result = Status::TimedOut("recovery did not finish");
+  bool done = false;
+  writer_->Recover([&](Status s) {
+    result = s;
+    done = true;
+  });
+  RunUntil([&] { return done; }, Seconds(120));
+  return result;
+}
+
+Status AuroraCluster::CreateTableSync(const std::string& name) {
+  Status result = Status::TimedOut("create table did not finish");
+  bool done = false;
+  writer_->CreateTable(name, [&](Status s) {
+    result = s;
+    done = true;
+  });
+  RunUntil([&] { return done; }, Seconds(30));
+  return result;
+}
+
+Result<PageId> AuroraCluster::TableAnchorSync(const std::string& name) {
+  // The catalog page is pinned after bootstrap/recovery, so this is
+  // synchronous in practice; drive the loop in case it is not resident.
+  Result<PageId> r = writer_->TableAnchor(name);
+  int spins = 0;
+  while (!r.ok() && r.status().IsBusy() && spins++ < 1000) {
+    loop_.RunOne();
+    r = writer_->TableAnchor(name);
+  }
+  return r;
+}
+
+Status AuroraCluster::PutSync(PageId table, const std::string& key,
+                              const std::string& value) {
+  Status result = Status::TimedOut("put did not finish");
+  bool done = false;
+  TxnId txn = writer_->Begin();
+  writer_->Put(txn, table, key, value, [&](Status s) {
+    if (!s.ok()) {
+      result = s;
+      done = true;
+      return;
+    }
+    writer_->Commit(txn, [&](Status cs) {
+      result = cs;
+      done = true;
+    });
+  });
+  RunUntil([&] { return done; }, Seconds(60));
+  return result;
+}
+
+Result<std::string> AuroraCluster::GetSync(PageId table,
+                                           const std::string& key) {
+  Result<std::string> result = Status::TimedOut("get did not finish");
+  bool done = false;
+  TxnId txn = writer_->Begin();
+  writer_->Get(txn, table, key, [&](Result<std::string> r) {
+    result = std::move(r);
+    writer_->Commit(txn, [&](Status) { done = true; });
+  });
+  RunUntil([&] { return done; }, Seconds(60));
+  return result;
+}
+
+Status AuroraCluster::DeleteSync(PageId table, const std::string& key) {
+  Status result = Status::TimedOut("delete did not finish");
+  bool done = false;
+  TxnId txn = writer_->Begin();
+  writer_->Delete(txn, table, key, [&](Status s) {
+    if (!s.ok()) {
+      result = s;
+      done = true;
+      return;
+    }
+    writer_->Commit(txn, [&](Status cs) {
+      result = cs;
+      done = true;
+    });
+  });
+  RunUntil([&] { return done; }, Seconds(60));
+  return result;
+}
+
+Result<std::string> AuroraCluster::ReplicaGetSync(size_t replica,
+                                                  PageId table,
+                                                  const std::string& key) {
+  Result<std::string> result = Status::TimedOut("replica get did not finish");
+  bool done = false;
+  replicas_.at(replica)->Get(table, key, [&](Result<std::string> r) {
+    result = std::move(r);
+    done = true;
+  });
+  RunUntil([&] { return done; }, Seconds(60));
+  return result;
+}
+
+}  // namespace aurora

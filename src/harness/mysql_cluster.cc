@@ -1,0 +1,123 @@
+#include "harness/mysql_cluster.h"
+
+namespace aurora {
+
+MysqlCluster::MysqlCluster(MysqlClusterOptions options)
+    : options_(options), topology_(3) {
+  Random rng(options_.seed);
+  network_ = std::make_unique<sim::Network>(&loop_, &topology_,
+                                            options_.fabric, rng.Fork());
+  s3_ = std::make_unique<SimS3>(&loop_, SimS3::Options{}, rng.Fork());
+
+  // Figure 2 layout: primary instance + its EBS pair in AZ 1, standby
+  // instance + its EBS pair in AZ 2.
+  db_node_ = topology_.AddNode(0, "mysql-primary");
+  baseline::MirroredMySql::NodeSet nodes;
+  nodes.primary_ebs = topology_.AddNode(0, "ebs-primary");
+  nodes.primary_ebs_mirror = topology_.AddNode(0, "ebs-primary-mirror");
+  nodes.standby = topology_.AddNode(1, "mysql-standby");
+  nodes.standby_ebs = topology_.AddNode(1, "ebs-standby");
+  nodes.standby_ebs_mirror = topology_.AddNode(1, "ebs-standby-mirror");
+
+  instance_ = std::make_unique<sim::Instance>(&loop_, options_.instance);
+  db_ = std::make_unique<baseline::MirroredMySql>(
+      &loop_, network_.get(), db_node_, instance_.get(), s3_.get(), nodes,
+      options_.ebs_disk, options_.mysql, rng.Fork());
+
+  for (int i = 0; i < options_.num_binlog_replicas; ++i) {
+    sim::NodeId node = topology_.AddNode(static_cast<sim::AzId>(2),
+                                         "binlog-replica-" +
+                                             std::to_string(i));
+    replicas_.push_back(std::make_unique<baseline::BinlogReplica>(
+        &loop_, network_.get(), node, options_.binlog_apply_cost));
+    db_->AttachBinlogReplica(node);
+  }
+}
+
+MysqlCluster::~MysqlCluster() = default;
+
+bool MysqlCluster::RunUntil(std::function<bool()> pred, SimDuration max) {
+  const SimTime deadline = loop_.now() + max;
+  while (!pred() && loop_.now() < deadline) {
+    if (!loop_.RunOne()) return pred();
+  }
+  return pred();
+}
+
+Status MysqlCluster::BootstrapSync() {
+  Status result = Status::TimedOut("bootstrap did not finish");
+  bool done = false;
+  db_->Bootstrap([&](Status s) {
+    result = s;
+    done = true;
+  });
+  RunUntil([&] { return done; }, Seconds(60));
+  return result;
+}
+
+Status MysqlCluster::RecoverSync() {
+  Status result = Status::TimedOut("recovery did not finish");
+  bool done = false;
+  db_->Recover([&](Status s) {
+    result = s;
+    done = true;
+  });
+  RunUntil([&] { return done; }, Minutes(30));
+  return result;
+}
+
+Status MysqlCluster::CreateTableSync(const std::string& name) {
+  Status result = Status::TimedOut("create table did not finish");
+  bool done = false;
+  db_->CreateTable(name, [&](Status s) {
+    result = s;
+    done = true;
+  });
+  RunUntil([&] { return done; }, Seconds(60));
+  return result;
+}
+
+Result<PageId> MysqlCluster::TableAnchorSync(const std::string& name) {
+  Result<PageId> r = db_->TableAnchor(name);
+  int spins = 0;
+  while (!r.ok() && r.status().IsBusy() && spins++ < 100000) {
+    if (!loop_.RunOne()) break;
+    r = db_->TableAnchor(name);
+  }
+  return r;
+}
+
+Status MysqlCluster::PutSync(PageId table, const std::string& key,
+                             const std::string& value) {
+  Status result = Status::TimedOut("put did not finish");
+  bool done = false;
+  TxnId txn = db_->Begin();
+  db_->Put(txn, table, key, value, [&](Status s) {
+    if (!s.ok()) {
+      result = s;
+      done = true;
+      return;
+    }
+    db_->Commit(txn, [&](Status cs) {
+      result = cs;
+      done = true;
+    });
+  });
+  RunUntil([&] { return done; }, Seconds(60));
+  return result;
+}
+
+Result<std::string> MysqlCluster::GetSync(PageId table,
+                                          const std::string& key) {
+  Result<std::string> result = Status::TimedOut("get did not finish");
+  bool done = false;
+  TxnId txn = db_->Begin();
+  db_->Get(txn, table, key, [&](Result<std::string> r) {
+    result = std::move(r);
+    db_->Commit(txn, [&](Status) { done = true; });
+  });
+  RunUntil([&] { return done; }, Seconds(60));
+  return result;
+}
+
+}  // namespace aurora

@@ -1,0 +1,28 @@
+#ifndef AURORA_HARNESS_RESTORE_H_
+#define AURORA_HARNESS_RESTORE_H_
+
+#include "common/status.h"
+#include "harness/cluster.h"
+#include "storage/sim_s3.h"
+
+namespace aurora {
+
+/// Point-in-time restore (§5: the storage service "continuously backs up
+/// changed data to S3 and restores data from S3 as needed"; Figure 2's
+/// binlog-to-S3 is the MySQL equivalent).
+///
+/// Rebuilds a volume on `fresh` (a bootstrapped-empty cluster fleet) from
+/// the log archived in `source` (the S3 of the original cluster): creates
+/// the protection groups, feeds every archived record with LSN <= `upto`
+/// into their segment replicas, and stamps completeness watermarks so the
+/// writer's normal quorum recovery can open the restored volume.
+///
+/// Scope: restores logged state. Synthetic pre-loaded tables are volume
+/// snapshots, not log, and must be re-attached separately (as in real
+/// Aurora, where restore = snapshot + log replay).
+Status RestoreClusterFromS3(SimS3* source, AuroraCluster* fresh,
+                            Lsn upto = UINT64_MAX);
+
+}  // namespace aurora
+
+#endif  // AURORA_HARNESS_RESTORE_H_

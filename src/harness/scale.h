@@ -1,0 +1,51 @@
+#ifndef AURORA_HARNESS_SCALE_H_
+#define AURORA_HARNESS_SCALE_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace aurora::scale {
+
+/// The paper-to-simulation scale mapping used by every benchmark (see
+/// DESIGN.md §6 and EXPERIMENTS.md "How to read the numbers").
+///
+/// The paper's experiments run on r3.8xlarge EC2 instances against
+/// multi-terabyte volumes for 30 minutes; the simulation executes the same
+/// protocols with these reductions so a full sweep finishes in minutes:
+///
+///   quantity              paper              simulation
+///   ------------------    ---------------    -----------------------------
+///   page size             16 KiB             4 KiB (format-compatible)
+///   "1 GB" of SysBench    ~10M rows          kRowsPerGb rows of 100 B
+///   segment ("10 GB")     10 GB              pages_per_pg * page_size
+///   buffer cache          170 GB             kCachePagesFor170Gb pages
+///   LAL                   10M (LSN units)    10M (LSN = log bytes here too)
+///   measured window       30 min             seconds (deterministic)
+///
+/// Only shapes (ratios, crossovers, knees) are reproduction claims.
+
+/// Rows standing in for one paper-"GB" of SysBench data.
+constexpr uint64_t kRowsPerGb = 2560;
+
+/// SysBench row payload bytes (sysbench's c/pad columns are ~120 B).
+constexpr size_t kRowBytes = 100;
+
+/// Simulated page size.
+constexpr size_t kPageSize = 4096;
+
+/// Buffer-pool pages standing in for the paper's 170 GB cache.
+constexpr size_t kCachePagesFor170Gb = 26000;
+
+/// Segment repair reference point: "a 10GB segment can be repaired in 10
+/// seconds on a 10Gbps network link" (§2.2).
+constexpr uint64_t kPaperSegmentBytes = 10ull << 30;
+constexpr double kPaperRepairBandwidthBps = 10e9;
+
+inline uint64_t RowsForGb(double gb) {
+  return static_cast<uint64_t>(gb * kRowsPerGb);
+}
+
+}  // namespace aurora::scale
+
+#endif  // AURORA_HARNESS_SCALE_H_

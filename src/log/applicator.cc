@@ -1,0 +1,80 @@
+#include "log/applicator.h"
+
+namespace aurora {
+
+Status LogApplicator::Apply(const LogRecord& record, Page* page) {
+  if (record.lsn != kInvalidLsn && page->IsFormatted() &&
+      page->page_lsn() >= record.lsn) {
+    return Status::OK();  // already applied
+  }
+  Status s;
+  switch (record.op) {
+    case RedoOp::kFormatPage: {
+      uint8_t type, level;
+      s = record.GetFormat(&type, &level);
+      if (!s.ok()) return s;
+      page->Format(record.page_id, static_cast<PageType>(type), level);
+      break;
+    }
+    case RedoOp::kInsert: {
+      Slice key, value;
+      s = record.GetKeyValue(&key, &value);
+      if (!s.ok()) return s;
+      s = page->InsertRecord(key, value);
+      if (!s.ok()) return s;
+      break;
+    }
+    case RedoOp::kDelete: {
+      Slice key;
+      s = record.GetKey(&key);
+      if (!s.ok()) return s;
+      s = page->DeleteRecord(key);
+      if (!s.ok()) return s;
+      break;
+    }
+    case RedoOp::kUpdate: {
+      Slice key, value;
+      s = record.GetKeyValue(&key, &value);
+      if (!s.ok()) return s;
+      s = page->UpdateRecord(key, value);
+      if (!s.ok()) return s;
+      break;
+    }
+    case RedoOp::kSetNext: {
+      PageId id;
+      s = record.GetPageId(&id);
+      if (!s.ok()) return s;
+      page->set_next_page(id);
+      break;
+    }
+    case RedoOp::kSetPrev: {
+      PageId id;
+      s = record.GetPageId(&id);
+      if (!s.ok()) return s;
+      page->set_prev_page(id);
+      break;
+    }
+    case RedoOp::kSetSchemaVersion: {
+      uint32_t v;
+      s = record.GetVersion(&v);
+      if (!s.ok()) return s;
+      page->set_schema_version(v);
+      break;
+    }
+  }
+  if (record.lsn != kInvalidLsn) {
+    page->set_page_lsn(record.lsn);
+  }
+  return Status::OK();
+}
+
+Status LogApplicator::ApplyAll(const std::vector<LogRecord>& records,
+                               Page* page) {
+  for (const LogRecord& r : records) {
+    Status s = Apply(r, page);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace aurora

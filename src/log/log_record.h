@@ -1,0 +1,98 @@
+#ifndef AURORA_LOG_LOG_RECORD_H_
+#define AURORA_LOG_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "log/types.h"
+
+namespace aurora {
+
+/// Physiological redo operations. Each record targets exactly one page; the
+/// log applicator (log/applicator.h) interprets the operation against the
+/// page's before-image to produce its after-image, deterministically — the
+/// same applicator runs in the writer's forward path, on every storage node,
+/// and in every read replica's cache (§3.2, §4.2.4).
+enum class RedoOp : uint8_t {
+  /// (Re)formats the page: payload = {page_type, level}.
+  kFormatPage = 1,
+  /// Inserts a key/value record into a slotted page. payload = {key, value}.
+  kInsert = 2,
+  /// Deletes the record with the given key. payload = {key}.
+  kDelete = 3,
+  /// Replaces the value of an existing key. payload = {key, value}.
+  kUpdate = 4,
+  /// Sets the next-page link (B+-tree sibling / undo chain). payload = {id}.
+  kSetNext = 5,
+  /// Sets the prev-page link. payload = {id}.
+  kSetPrev = 6,
+  /// Sets the page's schema version (online DDL, §7.3). payload = {version}.
+  kSetSchemaVersion = 7,
+};
+
+/// Record flags.
+enum RecordFlags : uint8_t {
+  /// Final record of a mini-transaction — a Consistency Point LSN (CPL).
+  kFlagCpl = 0x1,
+};
+
+/// One redo log record. LSN and the per-PG backlink are assigned by the
+/// writer's LSN allocator at MTR commit time; before that they are
+/// kInvalidLsn.
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;
+  /// Backlink: LSN of the previous log record addressed to the same
+  /// protection group (§4.2.1). Storage nodes use it to detect gaps and to
+  /// compute the Segment Complete LSN.
+  Lsn prev_pg_lsn = kInvalidLsn;
+  /// Volume-wide backlink: LSN of the immediately preceding record of the
+  /// whole volume. Recovery walks this chain to compute the VCL — it makes
+  /// every hole visible from its successor, including records that were
+  /// lost from all six replicas of some other PG (which the per-PG chain
+  /// cannot reveal).
+  Lsn prev_vol_lsn = kInvalidLsn;
+  PageId page_id = kInvalidPage;
+  TxnId txn_id = kInvalidTxn;
+  RedoOp op = RedoOp::kFormatPage;
+  uint8_t flags = 0;
+  std::string payload;
+
+  bool is_cpl() const { return (flags & kFlagCpl) != 0; }
+
+  /// Size of the encoded representation; LSNs advance by this amount.
+  size_t EncodedSize() const;
+
+  /// Appends the wire encoding (with CRC) to `dst`.
+  void EncodeTo(std::string* dst) const;
+
+  /// Decodes one record from the front of `input`, advancing it. Verifies
+  /// the CRC; returns Corruption on any malformed input.
+  static Status DecodeFrom(Slice* input, LogRecord* out);
+
+  // --- Payload constructors (the only way payloads should be built) -------
+  static std::string MakeFormatPayload(uint8_t page_type, uint8_t level);
+  static std::string MakeKeyValuePayload(const Slice& key, const Slice& value);
+  static std::string MakeKeyPayload(const Slice& key);
+  static std::string MakePageIdPayload(PageId id);
+  static std::string MakeVersionPayload(uint32_t version);
+
+  // --- Payload accessors ---------------------------------------------------
+  Status GetFormat(uint8_t* page_type, uint8_t* level) const;
+  Status GetKeyValue(Slice* key, Slice* value) const;
+  Status GetKey(Slice* key) const;
+  Status GetPageId(PageId* id) const;
+  Status GetVersion(uint32_t* version) const;
+};
+
+/// Encodes a batch of records into one wire blob (the unit shipped to a
+/// segment replica) and decodes it back. The batch carries no header of its
+/// own; records are self-delimiting.
+void EncodeRecordBatch(const std::vector<LogRecord>& records, std::string* dst);
+Status DecodeRecordBatch(Slice input, std::vector<LogRecord>* out);
+
+}  // namespace aurora
+
+#endif  // AURORA_LOG_LOG_RECORD_H_

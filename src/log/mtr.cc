@@ -1,0 +1,37 @@
+#include "log/mtr.h"
+
+#include "log/applicator.h"
+
+namespace aurora {
+
+Status MiniTransaction::Apply(Page* page, LogRecord record) {
+  record.txn_id = txn_id_;
+  record.lsn = kInvalidLsn;  // assigned by the sink
+  bool seen = false;
+  for (const auto& [p, img] : before_images_) {
+    if (p == page) {
+      seen = true;
+      break;
+    }
+  }
+  if (!seen) before_images_.emplace_back(page, page->raw());
+  Status s = LogApplicator::Apply(record, page);
+  if (!s.ok()) return s;
+  records_.push_back(std::move(record));
+  pages_.push_back(page);
+  return Status::OK();
+}
+
+void MiniTransaction::Abort() {
+  // Restore in reverse touch order (order doesn't actually matter — each
+  // page gets back its first-touch image).
+  for (auto it = before_images_.rbegin(); it != before_images_.rend(); ++it) {
+    Status s = it->first->LoadRaw(it->second);
+    (void)s;  // same size by construction
+  }
+  before_images_.clear();
+  records_.clear();
+  pages_.clear();
+}
+
+}  // namespace aurora

@@ -1,0 +1,36 @@
+#ifndef AURORA_LOG_TYPES_H_
+#define AURORA_LOG_TYPES_H_
+
+#include <cstdint>
+
+namespace aurora {
+
+/// Log Sequence Number: monotonically increasing, allocated by the (single)
+/// writer. We use byte-offset LSNs like InnoDB: each record advances the LSN
+/// by its encoded size, so LSN arithmetic doubles as log-volume accounting.
+using Lsn = uint64_t;
+constexpr Lsn kInvalidLsn = 0;
+
+/// Identifier of a page within the volume (dense page number).
+using PageId = uint64_t;
+constexpr PageId kInvalidPage = UINT64_MAX;
+
+/// Identifier of a Protection Group: six segment replicas holding one slice
+/// of the volume's pages.
+using PgId = uint32_t;
+
+/// Replica index inside a protection group: 0..5 (two per AZ).
+using ReplicaIdx = uint8_t;
+constexpr int kReplicasPerPg = 6;
+
+/// Transaction identifier, allocated by the writer.
+using TxnId = uint64_t;
+constexpr TxnId kInvalidTxn = 0;
+
+/// Monotonic epoch stamped on volume truncations so that interrupted and
+/// repeated recoveries cannot disagree about what was truncated (§4.3).
+using Epoch = uint64_t;
+
+}  // namespace aurora
+
+#endif  // AURORA_LOG_TYPES_H_

@@ -1,0 +1,115 @@
+#include "quorum/availability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace aurora {
+
+namespace {
+
+double Binomial(int n, int k) {
+  double r = 1;
+  for (int i = 0; i < k; ++i) {
+    r = r * (n - i) / (i + 1);
+  }
+  return r;
+}
+
+}  // namespace
+
+DurabilityReport AvailabilityModel::Analytic() const {
+  DurabilityReport report;
+  const int v = quorum_.votes;
+  // Durability is lost when fewer than read_quorum replicas survive, i.e.
+  // more than (v - read_quorum) concurrent failures.
+  const int tolerable = v - quorum_.read_quorum;
+
+  // Steady-state probability that one replica is down: MTTR / (MTTF + MTTR).
+  const double mttf_s = params_.node_mttf_hours * 3600.0;
+  const double mttr_s = params_.segment_mttr_seconds;
+  const double p_down = mttr_s / (mttf_s + mttr_s);
+
+  // P(more than `tolerable` of v replicas down at once), independent.
+  double p_loss_instant = 0;
+  for (int k = tolerable + 1; k <= v; ++k) {
+    p_loss_instant += Binomial(v, k) * std::pow(p_down, k) *
+                      std::pow(1 - p_down, v - k);
+  }
+  // Rate of entering the loss state ~ (failure rate of one more node while
+  // already `tolerable` are down). Approximate expected events over the
+  // horizon via the instantaneous probability divided by the repair window.
+  const double horizon_s = params_.horizon_hours * 3600.0;
+  const double events_per_pg = p_loss_instant * horizon_s / mttr_s;
+  report.pg_quorum_loss_prob = 1 - std::exp(-events_per_pg);
+  report.expected_fleet_events =
+      events_per_pg * static_cast<double>(params_.num_pgs);
+
+  // AZ + noise: an AZ failure removes 2 of 6 replicas (2 copies per AZ).
+  // Quorum then needs the remaining (v - 2) to hold read_quorum, i.e.
+  // tolerates (v - 2 - read_quorum) more failures. For Aurora 6/4/3 this is
+  // one more; for 2/3 quorums it is zero — the paper's core argument.
+  const int after_az = v - 2 * v / 6;  // replicas outside the failed AZ
+  const int tolerable_after_az = after_az - quorum_.read_quorum;
+  if (tolerable_after_az < 0) {
+    report.az_plus_noise_loss_prob = 1.0;
+  } else {
+    double p = 0;
+    for (int k = tolerable_after_az + 1; k <= after_az; ++k) {
+      p += Binomial(after_az, k) * std::pow(p_down, k) *
+           std::pow(1 - p_down, after_az - k);
+    }
+    report.az_plus_noise_loss_prob = p;
+  }
+  return report;
+}
+
+double AvailabilityModel::MonteCarloLossProb(uint64_t trials,
+                                             double az_failure_rate_per_hour,
+                                             Random* rng) const {
+  const int v = quorum_.votes;
+  const int need = quorum_.read_quorum;
+  const double horizon = params_.horizon_hours;
+  const double mttf = params_.node_mttf_hours;
+  const double mttr_h = params_.segment_mttr_seconds / 3600.0;
+
+  uint64_t losses = 0;
+  for (uint64_t t = 0; t < trials; ++t) {
+    // Event-driven walk over one PG: replica failures are Poisson per
+    // replica; repairs deterministic MTTR. AZ failures (affecting replicas
+    // 2a..2a+1) are Poisson with the given rate and last 1 hour.
+    std::vector<double> down_until(v, -1.0);
+    double now = 0;
+    bool lost = false;
+    while (now < horizon && !lost) {
+      // Next independent failure anywhere in the PG.
+      double gap = rng->Exponential(mttf / v);
+      double az_gap = az_failure_rate_per_hour > 0
+                          ? rng->Exponential(1.0 / az_failure_rate_per_hour)
+                          : horizon * 2;
+      now += std::min(gap, az_gap);
+      if (now >= horizon) break;
+      if (az_gap < gap) {
+        // An AZ (random of 3) fails for 1 hour, taking down the replicas
+        // placed in it (2 of 6 for Aurora, 1 of 3 for the classic scheme).
+        int per_az = std::max(1, v / 3);
+        int az = static_cast<int>(rng->Uniform(3));
+        for (int r = az * per_az; r < (az + 1) * per_az && r < v; ++r) {
+          down_until[r] = std::max(down_until[r], now + 1.0);
+        }
+      } else {
+        int replica = static_cast<int>(rng->Uniform(v));
+        down_until[replica] = std::max(down_until[replica], now + mttr_h);
+      }
+      int alive = 0;
+      for (double d : down_until) {
+        if (d < now) ++alive;
+      }
+      if (alive < need) lost = true;
+    }
+    if (lost) ++losses;
+  }
+  return static_cast<double>(losses) / static_cast<double>(trials);
+}
+
+}  // namespace aurora

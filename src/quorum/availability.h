@@ -1,0 +1,64 @@
+#ifndef AURORA_QUORUM_AVAILABILITY_H_
+#define AURORA_QUORUM_AVAILABILITY_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "quorum/quorum.h"
+
+namespace aurora {
+
+/// Analytic and Monte-Carlo durability model for §2 ("Durability at Scale"):
+/// quantifies why 2/3 quorums are inadequate under AZ-correlated failures
+/// and how segmenting (small MTTR) shrinks the double-fault window.
+struct DurabilityParams {
+  /// Mean time to failure of one segment replica (background noise, §2.1).
+  double node_mttf_hours = 10000.0;
+  /// Mean time to repair one segment (10 GB at 10 Gbps ~ 10 s, §2.2).
+  double segment_mttr_seconds = 10.0;
+  /// Number of protection groups in the fleet under study.
+  uint64_t num_pgs = 100000;
+  /// Mission time over which loss probability is evaluated.
+  double horizon_hours = 24.0 * 365;
+};
+
+struct DurabilityReport {
+  /// Probability that one specific PG loses its read (durability) quorum
+  /// from independent failures alone within the horizon.
+  double pg_quorum_loss_prob = 0;
+  /// Probability that an AZ failure combined with concurrent independent
+  /// failures breaks quorum for at least one PG.
+  double az_plus_noise_loss_prob = 0;
+  /// Expected fleet-wide quorum-loss events over the horizon.
+  double expected_fleet_events = 0;
+};
+
+class AvailabilityModel {
+ public:
+  AvailabilityModel(QuorumConfig quorum, DurabilityParams params)
+      : quorum_(quorum), params_(params) {}
+
+  /// Closed-form (steady-state, independent failures) estimate.
+  DurabilityReport Analytic() const;
+
+  /// Monte-Carlo simulation of one PG's replica lifetimes, with optional AZ
+  /// failure events at the given rate (failures/hour). Returns the fraction
+  /// of trials in which durability quorum was lost within the horizon.
+  double MonteCarloLossProb(uint64_t trials, double az_failure_rate_per_hour,
+                            Random* rng) const;
+
+  /// Segment repair time for a given segment size and network bandwidth —
+  /// the §2.2 "10GB in 10s on 10Gbps" computation.
+  static double RepairSeconds(uint64_t segment_bytes, double bandwidth_bps) {
+    return static_cast<double>(segment_bytes) * 8.0 / bandwidth_bps;
+  }
+
+ private:
+  QuorumConfig quorum_;
+  DurabilityParams params_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_QUORUM_AVAILABILITY_H_

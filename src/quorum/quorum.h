@@ -1,0 +1,64 @@
+#ifndef AURORA_QUORUM_QUORUM_H_
+#define AURORA_QUORUM_QUORUM_H_
+
+#include <bitset>
+#include <cstdint>
+
+#include "log/types.h"
+
+namespace aurora {
+
+/// Quorum configuration (V, V_w, V_r) per §2.1. Aurora's design point is
+/// V=6, V_w=4, V_r=3: tolerate "AZ+1" for reads (lose a whole AZ plus one
+/// more node and still read), and a whole AZ for writes.
+struct QuorumConfig {
+  int votes = 6;
+  int write_quorum = 4;
+  int read_quorum = 3;
+
+  static QuorumConfig Aurora() { return {6, 4, 3}; }
+  /// The classic 2/3 scheme the paper argues is inadequate (§2.1).
+  static QuorumConfig TwoOfThree() { return {3, 2, 2}; }
+
+  /// Gifford's consistency rules: reads see the latest write
+  /// (V_r + V_w > V) and writes are ordered (V_w > V/2).
+  bool Valid() const {
+    return votes > 0 && write_quorum > 0 && read_quorum > 0 &&
+           write_quorum <= votes && read_quorum <= votes &&
+           read_quorum + write_quorum > votes && 2 * write_quorum > votes;
+  }
+
+  int write_fault_tolerance() const { return votes - write_quorum; }
+  int read_fault_tolerance() const { return votes - read_quorum; }
+};
+
+/// Tracks acknowledgements for one replicated write (a log batch sent to the
+/// six segment replicas of a protection group).
+class WriteTracker {
+ public:
+  explicit WriteTracker(QuorumConfig config) : config_(config) {}
+
+  /// Records an ack from replica `idx` (0-based). Returns true if this ack
+  /// is the one that achieves the write quorum.
+  bool Ack(int idx) {
+    if (idx < 0 || idx >= config_.votes || acked_.test(idx)) return false;
+    acked_.set(idx);
+    ++count_;
+    return count_ == config_.write_quorum;
+  }
+
+  bool achieved() const { return count_ >= config_.write_quorum; }
+  int acks() const { return count_; }
+  bool has_ack_from(int idx) const {
+    return idx >= 0 && idx < config_.votes && acked_.test(idx);
+  }
+
+ private:
+  QuorumConfig config_;
+  std::bitset<16> acked_;
+  int count_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_QUORUM_QUORUM_H_

@@ -1,0 +1,45 @@
+#include "sim/disk.h"
+
+#include <algorithm>
+
+namespace aurora::sim {
+
+void Disk::Submit(uint64_t bytes, SimDuration base_latency, bool is_write,
+                  Callback done) {
+  if (failed_) {
+    loop_->Schedule(Micros(1), [done = std::move(done)]() {
+      done(Status::IOError("disk failed"));
+    });
+    return;
+  }
+  if (is_write) {
+    ++writes_;
+    bytes_written_ += bytes;
+  } else {
+    ++reads_;
+    bytes_read_ += bytes;
+  }
+
+  // Service time: limited by both IOPS and sequential bandwidth.
+  double service_us = 0;
+  if (options_.max_iops > 0) service_us = 1e6 / options_.max_iops;
+  if (options_.bandwidth_bps > 0) {
+    service_us = std::max(service_us,
+                          static_cast<double>(bytes) / options_.bandwidth_bps * 1e6);
+  }
+  service_us *= slowdown_;
+
+  SimTime start = std::max(loop_->now(), busy_until_);
+  busy_until_ = start + static_cast<SimDuration>(service_us);
+
+  double jitter = rng_.LogNormal(1.0, options_.jitter_sigma);
+  auto latency = static_cast<SimDuration>(
+      static_cast<double>(base_latency) * jitter * slowdown_);
+  SimTime complete_at = busy_until_ + latency;
+
+  loop_->ScheduleAt(complete_at, [this, done = std::move(done)]() {
+    done(failed_ ? Status::IOError("disk failed") : Status::OK());
+  });
+}
+
+}  // namespace aurora::sim

@@ -1,0 +1,50 @@
+#include "sim/event_loop.h"
+
+namespace aurora::sim {
+
+EventId EventLoop::Schedule(SimDuration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId EventLoop::ScheduleAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  EventId id = next_id_++;
+  queue_.emplace(Key{t, id}, std::move(fn));
+  id_to_time_.emplace(id, t);
+  return id;
+}
+
+bool EventLoop::Cancel(EventId id) {
+  auto it = id_to_time_.find(id);
+  if (it == id_to_time_.end()) return false;
+  queue_.erase(Key{it->second, id});
+  id_to_time_.erase(it);
+  return true;
+}
+
+bool EventLoop::RunOne() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  now_ = it->first.time;
+  // Move the closure out before erasing so it can safely schedule/cancel.
+  std::function<void()> fn = std::move(it->second);
+  id_to_time_.erase(it->first.id);
+  queue_.erase(it);
+  ++executed_;
+  fn();
+  return true;
+}
+
+void EventLoop::Run() {
+  while (RunOne()) {
+  }
+}
+
+void EventLoop::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.begin()->first.time <= t) {
+    RunOne();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace aurora::sim

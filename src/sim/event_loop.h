@@ -1,0 +1,77 @@
+#ifndef AURORA_SIM_EVENT_LOOP_H_
+#define AURORA_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/units.h"
+
+namespace aurora::sim {
+
+/// Identifier of a scheduled event; usable to cancel it.
+using EventId = uint64_t;
+
+/// Deterministic discrete-event scheduler with a virtual clock.
+///
+/// All simulated components (network links, disks, storage nodes, database
+/// instances, failure injectors) schedule closures here. Events at the same
+/// virtual time run in schedule order (FIFO), which — together with every
+/// component drawing randomness from its own seeded stream — makes entire
+/// cluster runs bit-for-bit reproducible.
+class EventLoop {
+ public:
+  EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time (microseconds since simulation start).
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after now. Returns an id for Cancel().
+  EventId Schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `t` (clamped to now).
+  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already ran or is unknown.
+  bool Cancel(EventId id);
+
+  /// Runs a single event; returns false if none are pending.
+  bool RunOne();
+
+  /// Runs until the queue is empty.
+  void Run();
+
+  /// Runs all events with time <= t, then advances the clock to exactly t.
+  void RunUntil(SimTime t);
+
+  /// Runs events for `d` more simulated time.
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+  size_t pending() const { return queue_.size(); }
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Key {
+    SimTime time;
+    EventId id;
+    bool operator<(const Key& o) const {
+      return time != o.time ? time < o.time : id < o.id;
+    }
+  };
+
+  // std::map used as an addressable priority queue so Cancel() is cheap and
+  // iteration order is fully deterministic.
+  std::map<Key, std::function<void()>> queue_;
+  std::map<EventId, SimTime> id_to_time_;
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace aurora::sim
+
+#endif  // AURORA_SIM_EVENT_LOOP_H_

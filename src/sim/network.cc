@@ -1,0 +1,144 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace aurora::sim {
+
+namespace {
+std::pair<NodeId, NodeId> Ordered(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+void Network::Register(NodeId node, Handler handler) {
+  if (handlers_.size() <= node) {
+    handlers_.resize(node + 1);
+    stats_.resize(node + 1);
+    nic_busy_until_.resize(node + 1, 0);
+    latency_factor_.resize(node + 1, 1.0);
+  }
+  handlers_[node] = std::move(handler);
+}
+
+bool Network::Reachable(NodeId a, NodeId b) const {
+  if (down_nodes_.count(a) || down_nodes_.count(b)) return false;
+  if (down_azs_.count(topology_->az_of(a)) ||
+      down_azs_.count(topology_->az_of(b))) {
+    return false;
+  }
+  if (partitions_.count(Ordered(a, b))) return false;
+  return true;
+}
+
+double Network::LatencyFactor(NodeId n) const {
+  return n < latency_factor_.size() ? latency_factor_[n] : 1.0;
+}
+
+SimDuration Network::PropagationDelay(NodeId from, NodeId to) {
+  SimDuration base;
+  if (from == to) {
+    base = options_.same_node_latency;
+  } else if (topology_->SameAz(from, to)) {
+    base = options_.intra_az_latency;
+  } else {
+    base = options_.cross_az_latency;
+  }
+  // Heavy-tailed jitter: multiply by a log-normal factor with median 1.
+  double jitter = rng_.LogNormal(1.0, options_.jitter_sigma);
+  double factor = LatencyFactor(from) * LatencyFactor(to);
+  auto d = static_cast<SimDuration>(static_cast<double>(base) * jitter * factor);
+  return std::max<SimDuration>(d, 1);
+}
+
+void Network::Send(NodeId from, NodeId to, uint16_t type,
+                   std::string payload) {
+  if (from >= handlers_.size()) Register(from, nullptr);
+  if (to >= handlers_.size()) Register(to, nullptr);
+
+  NetStats& s = stats_[from];
+  s.messages_sent++;
+  s.bytes_sent += payload.size();
+  s.packets_sent += 1 + payload.size() / options_.mtu_bytes;
+
+  if (!Reachable(from, to) || rng_.Bernoulli(drop_probability_)) {
+    s.messages_dropped++;
+    return;
+  }
+
+  // NIC serialization: a sender transmits one message at a time at the NIC's
+  // line rate; concurrent sends queue behind each other.
+  SimTime start = std::max(loop_->now(), nic_busy_until_[from]);
+  auto transmit = static_cast<SimDuration>(
+      static_cast<double>(payload.size()) / options_.node_bandwidth_bps * 1e6);
+  nic_busy_until_[from] = start + transmit;
+
+  SimTime deliver_at = start + transmit + PropagationDelay(from, to);
+
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.type = type;
+  msg.payload = std::move(payload);
+  msg.sent_at = loop_->now();
+
+  loop_->ScheduleAt(deliver_at, [this, msg = std::move(msg)]() mutable {
+    // Re-check reachability at delivery time: a crash while the message was
+    // in flight loses it.
+    if (!Reachable(msg.from, msg.to)) return;
+    if (msg.to >= handlers_.size() || !handlers_[msg.to]) return;
+    stats_[msg.to].messages_received++;
+    handlers_[msg.to](msg);
+  });
+}
+
+void Network::SetNodeDown(NodeId node, bool down) {
+  if (down) {
+    down_nodes_.insert(node);
+  } else {
+    down_nodes_.erase(node);
+  }
+}
+
+void Network::SetAzDown(AzId az, bool down) {
+  if (down) {
+    down_azs_.insert(az);
+  } else {
+    down_azs_.erase(az);
+  }
+}
+
+void Network::SetPartitioned(NodeId a, NodeId b, bool blocked) {
+  if (blocked) {
+    partitions_.insert(Ordered(a, b));
+  } else {
+    partitions_.erase(Ordered(a, b));
+  }
+}
+
+void Network::SetNodeLatencyFactor(NodeId node, double factor) {
+  if (node >= latency_factor_.size()) Register(node, nullptr);
+  latency_factor_[node] = factor;
+}
+
+const NetStats& Network::stats_of(NodeId node) const {
+  static const NetStats kEmpty;
+  return node < stats_.size() ? stats_[node] : kEmpty;
+}
+
+NetStats Network::total() const {
+  NetStats t;
+  for (const NetStats& s : stats_) {
+    t.messages_sent += s.messages_sent;
+    t.messages_received += s.messages_received;
+    t.packets_sent += s.packets_sent;
+    t.bytes_sent += s.bytes_sent;
+    t.messages_dropped += s.messages_dropped;
+  }
+  return t;
+}
+
+void Network::ResetStats() {
+  std::fill(stats_.begin(), stats_.end(), NetStats{});
+}
+
+}  // namespace aurora::sim

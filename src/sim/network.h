@@ -1,0 +1,106 @@
+#ifndef AURORA_SIM_NETWORK_H_
+#define AURORA_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "sim/event_loop.h"
+#include "sim/topology.h"
+
+namespace aurora::sim {
+
+/// A message in flight between simulated hosts. Payloads are real serialized
+/// bytes so that byte/packet accounting (the paper's PPS and bandwidth
+/// bottlenecks, §1 and §3) reflects genuine wire sizes.
+struct Message {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  uint16_t type = 0;
+  std::string payload;
+  SimTime sent_at = 0;
+};
+
+/// Per-node network counters.
+struct NetStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t packets_sent = 0;  // payloads fragmented at MTU granularity
+  uint64_t bytes_sent = 0;
+  uint64_t messages_dropped = 0;
+};
+
+/// The region's network fabric: delivers messages between registered hosts
+/// with topology-dependent latency, log-normal jitter, per-NIC bandwidth
+/// serialization, and fault injection (node down, AZ down, pairwise
+/// partition, random drop).
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(EventLoop* loop, const Topology* topology, FabricOptions options,
+          Random rng)
+      : loop_(loop), topology_(topology), options_(options), rng_(rng) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Installs the receive handler for `node`. A node without a handler drops
+  /// everything addressed to it.
+  void Register(NodeId node, Handler handler);
+
+  /// Sends `payload` from `from` to `to`. Delivery is asynchronous; the
+  /// message is silently dropped if either endpoint is down/partitioned at
+  /// send or delivery time (crash-stop semantics — senders learn about loss
+  /// only through their own timeouts, as in the real system).
+  void Send(NodeId from, NodeId to, uint16_t type, std::string payload);
+
+  // --- Fault injection ---------------------------------------------------
+  void SetNodeDown(NodeId node, bool down);
+  bool IsNodeDown(NodeId node) const { return down_nodes_.count(node) > 0; }
+  void SetAzDown(AzId az, bool down);
+  bool IsAzDown(AzId az) const { return down_azs_.count(az) > 0; }
+  /// Blocks (or unblocks) traffic between two specific nodes, both ways.
+  void SetPartitioned(NodeId a, NodeId b, bool blocked);
+  /// Probability in [0,1] that any message is lost in transit.
+  void set_drop_probability(double p) { drop_probability_ = p; }
+  /// Multiplies delivery latency for all traffic to/from `node` (slow node /
+  /// hot spot modelling); 1.0 restores normal speed.
+  void SetNodeLatencyFactor(NodeId node, double factor);
+
+  // --- Stats --------------------------------------------------------------
+  const NetStats& stats_of(NodeId node) const;
+  NetStats total() const;
+  void ResetStats();
+
+  const FabricOptions& options() const { return options_; }
+
+ private:
+  bool Reachable(NodeId a, NodeId b) const;
+  SimDuration PropagationDelay(NodeId from, NodeId to);
+  double LatencyFactor(NodeId n) const;
+
+  EventLoop* loop_;
+  const Topology* topology_;
+  FabricOptions options_;
+  Random rng_;
+
+  std::vector<Handler> handlers_;
+  std::vector<NetStats> stats_;
+  std::vector<SimTime> nic_busy_until_;
+  std::vector<double> latency_factor_;
+
+  std::set<NodeId> down_nodes_;
+  std::set<AzId> down_azs_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  double drop_probability_ = 0.0;
+};
+
+}  // namespace aurora::sim
+
+#endif  // AURORA_SIM_NETWORK_H_

@@ -1,0 +1,74 @@
+#ifndef AURORA_SIM_TOPOLOGY_H_
+#define AURORA_SIM_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace aurora::sim {
+
+/// Simulated host identifier. Hosts include database instances, storage
+/// nodes, EBS servers and the simulated S3 endpoint.
+using NodeId = uint32_t;
+/// Availability Zone identifier within the region.
+using AzId = uint8_t;
+
+constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Latency parameters of the region's network fabric. Defaults approximate
+/// the paper's environment: AZs are "connected ... through low latency links"
+/// within one region. Jitter is log-normal (heavy-tailed) to reproduce the
+/// outlier behaviour ("the performance of the outlier ... can dominate
+/// response time", §1).
+struct FabricOptions {
+  SimDuration same_node_latency = Micros(5);
+  SimDuration intra_az_latency = Micros(100);
+  SimDuration cross_az_latency = Micros(600);
+  /// Sigma of the log-normal jitter multiplier applied to every hop.
+  double jitter_sigma = 0.25;
+  /// NIC bandwidth per host, bytes per simulated second (10 Gbps default).
+  double node_bandwidth_bps = 10e9 / 8 * 1;  // bytes/sec (10 Gbit/s)
+  /// MTU used for packets-per-second accounting.
+  uint32_t mtu_bytes = 9000;
+};
+
+/// Placement of simulated hosts into Availability Zones.
+class Topology {
+ public:
+  explicit Topology(int num_azs = 3) : num_azs_(num_azs) {}
+
+  /// Registers a new host in `az`; returns its NodeId.
+  NodeId AddNode(AzId az, std::string name = "") {
+    azs_.push_back(az);
+    names_.push_back(name.empty() ? "node-" + std::to_string(azs_.size() - 1)
+                                  : std::move(name));
+    return static_cast<NodeId>(azs_.size() - 1);
+  }
+
+  AzId az_of(NodeId n) const { return azs_.at(n); }
+  const std::string& name_of(NodeId n) const { return names_.at(n); }
+  int num_azs() const { return num_azs_; }
+  size_t num_nodes() const { return azs_.size(); }
+
+  bool SameAz(NodeId a, NodeId b) const { return azs_.at(a) == azs_.at(b); }
+
+  /// All nodes placed in `az`.
+  std::vector<NodeId> NodesInAz(AzId az) const {
+    std::vector<NodeId> out;
+    for (NodeId n = 0; n < azs_.size(); ++n) {
+      if (azs_[n] == az) out.push_back(n);
+    }
+    return out;
+  }
+
+ private:
+  int num_azs_;
+  std::vector<AzId> azs_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace aurora::sim
+
+#endif  // AURORA_SIM_TOPOLOGY_H_

@@ -1,0 +1,118 @@
+#include "storage/repair.h"
+
+#include "storage/storage_node.h"
+#include "storage/wire.h"
+
+namespace aurora {
+
+RepairManager::RepairManager(sim::EventLoop* loop, sim::Network* network,
+                             const sim::Topology* topology,
+                             ControlPlane* control_plane,
+                             RepairOptions options, Random rng)
+    : loop_(loop),
+      network_(network),
+      topology_(topology),
+      control_plane_(control_plane),
+      options_(options),
+      rng_(rng) {}
+
+void RepairManager::Start() {
+  if (running_) return;
+  running_ = true;
+  loop_->Schedule(options_.poll_interval, [this] { Poll(); });
+}
+
+void RepairManager::Poll() {
+  if (!running_) return;
+  loop_->Schedule(options_.poll_interval, [this] { Poll(); });
+
+  const SimTime now = loop_->now();
+  for (const auto& [id, node] : control_plane_->storage_nodes()) {
+    if (network_->IsNodeDown(id)) {
+      down_since_.try_emplace(id, now);
+    } else {
+      down_since_.erase(id);
+    }
+  }
+  for (const auto& [id, since] : down_since_) {
+    if (now - since < options_.detection_threshold) continue;
+    for (const auto& [pg, idx] : control_plane_->ReplicasOnNode(id)) {
+      if (in_flight_.count({pg, idx})) continue;
+      StartRepair(pg, idx, id);
+    }
+  }
+}
+
+sim::NodeId RepairManager::PickReplacement(
+    sim::AzId az, const std::set<sim::NodeId>& exclude) {
+  std::vector<sim::NodeId> candidates;
+  std::vector<sim::NodeId> fallback;
+  for (const auto& [id, node] : control_plane_->storage_nodes()) {
+    if (exclude.count(id) || network_->IsNodeDown(id)) continue;
+    if (topology_->az_of(id) == az) {
+      candidates.push_back(id);
+    } else {
+      fallback.push_back(id);
+    }
+  }
+  // Prefer the same AZ to preserve the 2-per-AZ layout; degrade to any AZ.
+  const auto& pool = candidates.empty() ? fallback : candidates;
+  if (pool.empty()) return sim::kInvalidNode;
+  return pool[rng_.Uniform(pool.size())];
+}
+
+void RepairManager::StartRepair(PgId pg, ReplicaIdx idx, sim::NodeId failed) {
+  const PgMembership& members = control_plane_->membership(pg);
+  std::set<sim::NodeId> exclude(members.nodes.begin(), members.nodes.end());
+  sim::NodeId target = PickReplacement(topology_->az_of(failed), exclude);
+  if (target == sim::kInvalidNode) return;
+
+  // Find a healthy donor peer.
+  sim::NodeId donor = sim::kInvalidNode;
+  for (sim::NodeId peer : members.nodes) {
+    if (peer == failed || network_->IsNodeDown(peer)) continue;
+    StorageNode* n = control_plane_->node(peer);
+    if (n != nullptr && n->segment(pg) != nullptr) {
+      donor = peer;
+      break;
+    }
+  }
+  if (donor == sim::kInvalidNode) return;  // quorum already lost
+
+  in_flight_.insert({pg, idx});
+  ++stats_.repairs_started;
+  const SimTime started = loop_->now();
+
+  StorageNode* target_node = control_plane_->node(target);
+  AURORA_CHECK(target_node != nullptr, "replacement host not registered");
+  target_node->set_segment_installed_callback(
+      [this, pg, idx, target, started](PgId installed_pg) {
+        if (installed_pg != pg) return;
+        // Membership flips to the new host only once the copy is installed;
+        // the writer picks it up on its next send and gossip backfills
+        // anything written during the transfer.
+        control_plane_->ReplaceReplica(pg, idx, target);
+        in_flight_.erase({pg, idx});
+        ++stats_.repairs_completed;
+        repair_durations_.push_back(loop_->now() - started);
+      });
+
+  // The replacement host pulls the full segment state from the donor; the
+  // response payload carries the real serialized segment, so transfer time
+  // reflects segment size over the simulated fabric (§2.2's MTTR argument).
+  SegmentStateReqMsg req;
+  req.req_id = next_req_++;
+  req.pg = pg;
+  std::string payload;
+  req.EncodeTo(&payload);
+  network_->Send(target, donor, kMsgSegmentStateReq, std::move(payload));
+}
+
+void RepairManager::MigrateReplica(PgId pg, ReplicaIdx idx) {
+  const PgMembership& members = control_plane_->membership(pg);
+  sim::NodeId current = members.nodes[idx];
+  ++stats_.migrations;
+  StartRepair(pg, idx, current);
+}
+
+}  // namespace aurora

@@ -1,0 +1,85 @@
+#ifndef AURORA_STORAGE_REPAIR_H_
+#define AURORA_STORAGE_REPAIR_H_
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "storage/control_plane.h"
+
+namespace aurora {
+
+/// The re-replication orchestrator of §2.2: watches the fleet, and when a
+/// segment replica's host has been unreachable longer than the detection
+/// threshold, migrates the segment to a healthy host by copying state from a
+/// live peer. MTTR — the window of double-fault vulnerability — is detection
+/// time plus transfer time (segment bytes over the fabric, e.g. "a 10GB
+/// segment can be repaired in 10 seconds on a 10Gbps network link").
+///
+/// The same machinery performs heat management (§2.3): MigrateReplica() can
+/// move a segment off a hot host proactively, and ZDP-style one-AZ-at-a-time
+/// patching just crashes/restarts nodes briefly — short enough that no
+/// repair triggers.
+struct RepairOptions {
+  /// How long a host must be down before repair starts (distinguishes a
+  /// reboot blip from a real loss).
+  SimDuration detection_threshold = Seconds(3);
+  SimDuration poll_interval = Millis(500);
+};
+
+struct RepairStats {
+  uint64_t repairs_started = 0;
+  uint64_t repairs_completed = 0;
+  uint64_t migrations = 0;
+};
+
+class RepairManager {
+ public:
+  RepairManager(sim::EventLoop* loop, sim::Network* network,
+                const sim::Topology* topology, ControlPlane* control_plane,
+                RepairOptions options, Random rng);
+
+  /// Starts the watchdog.
+  void Start();
+  void Stop() { running_ = false; }
+
+  /// Proactively moves (pg, idx) to a new host (heat management).
+  void MigrateReplica(PgId pg, ReplicaIdx idx);
+
+  const RepairStats& stats() const { return stats_; }
+  /// Completion times of finished repairs (simulated duration from
+  /// detection to installed copy), for the §2.2 bench.
+  const std::vector<SimDuration>& repair_durations() const {
+    return repair_durations_;
+  }
+
+ private:
+  void Poll();
+  void StartRepair(PgId pg, ReplicaIdx idx, sim::NodeId failed);
+  /// Picks a healthy host in `az` (excluding `exclude`); kInvalidNode if
+  /// none.
+  sim::NodeId PickReplacement(sim::AzId az,
+                              const std::set<sim::NodeId>& exclude);
+
+  sim::EventLoop* loop_;
+  sim::Network* network_;
+  const sim::Topology* topology_;
+  ControlPlane* control_plane_;
+  RepairOptions options_;
+  Random rng_;
+
+  bool running_ = false;
+  /// Host -> first time it was observed down.
+  std::map<sim::NodeId, SimTime> down_since_;
+  /// (pg, idx) pairs with a repair in flight.
+  std::set<std::pair<PgId, ReplicaIdx>> in_flight_;
+  RepairStats stats_;
+  std::vector<SimDuration> repair_durations_;
+  uint64_t next_req_ = 1;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_STORAGE_REPAIR_H_

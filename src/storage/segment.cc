@@ -1,0 +1,275 @@
+#include "storage/segment.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/logging.h"
+#include "log/applicator.h"
+
+namespace aurora {
+
+bool Segment::AddRecord(const LogRecord& record) {
+  if (record.lsn == kInvalidLsn) return false;
+  // Records at or below the applied floor are already reflected in base
+  // pages (and possibly garbage collected); re-adding them (late gossip)
+  // would leave unreclaimable junk.
+  if (record.lsn <= applied_lsn_) return false;
+  auto [it, inserted] = hot_log_.emplace(record.lsn, record);
+  if (!inserted) return false;
+  chain_[record.prev_pg_lsn] = record.lsn;
+  records_by_page_[record.page_id].insert(record.lsn);
+  if (record.lsn > max_lsn_) max_lsn_ = record.lsn;
+  AdvanceScl();
+  return true;
+}
+
+void Segment::AdvanceScl() {
+  auto it = chain_.find(scl_);
+  while (it != chain_.end()) {
+    scl_ = it->second;
+    it = chain_.find(scl_);
+  }
+}
+
+const LogRecord* Segment::RecordAt(Lsn lsn) const {
+  auto it = hot_log_.find(lsn);
+  return it == hot_log_.end() ? nullptr : &it->second;
+}
+
+std::vector<LogRecord> Segment::RecordsAbove(Lsn from, size_t max) const {
+  std::vector<LogRecord> out;
+  for (auto it = hot_log_.upper_bound(from);
+       it != hot_log_.end() && out.size() < max; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<InventoryEntry> Segment::Inventory() const {
+  std::vector<InventoryEntry> out;
+  out.reserve(hot_log_.size());
+  for (const auto& [lsn, rec] : hot_log_) {
+    out.push_back({lsn, rec.prev_pg_lsn, rec.prev_vol_lsn, rec.flags});
+  }
+  return out;
+}
+
+Lsn Segment::MaterializationLimit() const {
+  // Never materialize beyond what is (a) locally complete, (b) known
+  // durable volume-wide (so post-crash truncation cannot undo a base page),
+  // and (c) below every possible outstanding read point.
+  return std::min(scl_, std::min(vdl_hint_, pgmrpl_));
+}
+
+Page* Segment::BasePage(PageId page) {
+  auto it = base_pages_.find(page);
+  if (it == base_pages_.end()) {
+    it = base_pages_.emplace(page, Page(page_size_)).first;
+    if (synthesizer_) synthesizer_(page, &it->second);
+  }
+  return &it->second;
+}
+
+size_t Segment::CoalesceStep(size_t max_records) {
+  const Lsn limit = MaterializationLimit();
+  size_t applied = 0;
+  auto it = hot_log_.upper_bound(applied_lsn_);
+  while (it != hot_log_.end() && it->first <= limit && applied < max_records) {
+    const LogRecord& rec = it->second;
+    Page* page = BasePage(rec.page_id);
+    Status s = LogApplicator::Apply(rec, page);
+    AURORA_CHECK(s.ok(), "coalesce apply failed (non-deterministic redo?)");
+    page->UpdateCrc();
+    applied_lsn_ = it->first;
+    ++applied;
+    ++it;
+  }
+  return applied;
+}
+
+Result<Page> Segment::GetPageAsOf(PageId page, Lsn read_point) const {
+  // Complete at the read point if the chain covers it directly, or if a
+  // consistent snapshot proves this PG has no records in (scl, read_point].
+  bool complete = read_point <= scl_ ||
+                  (read_point <= snapshot_vdl_ && scl_ >= snapshot_tail_);
+  if (!complete) {
+    return Status::Unavailable("segment incomplete at read point");
+  }
+  if (read_point < applied_lsn_) {
+    return Status::Stale("read point below materialized floor");
+  }
+  Page result(page_size_);
+  auto base_it = base_pages_.find(page);
+  if (base_it != base_pages_.end()) {
+    result = base_it->second;
+  } else if (synthesizer_) {
+    synthesizer_(page, &result);
+  }
+  auto recs_it = records_by_page_.find(page);
+  if (recs_it != records_by_page_.end()) {
+    for (Lsn lsn : recs_it->second) {
+      if (lsn > read_point) break;
+      const LogRecord* rec = RecordAt(lsn);
+      if (rec == nullptr) continue;  // already in the base image
+      Status s = LogApplicator::Apply(*rec, &result);
+      if (!s.ok()) return s;
+    }
+  }
+  if (!result.IsFormatted()) {
+    return Status::NotFound("page never written");
+  }
+  result.UpdateCrc();
+  return result;
+}
+
+size_t Segment::GarbageCollect() {
+  const Lsn floor = std::min(applied_lsn_, pgmrpl_);
+  size_t collected = 0;
+  auto it = hot_log_.begin();
+  while (it != hot_log_.end() && it->first <= floor) {
+    const LogRecord& rec = it->second;
+    chain_.erase(rec.prev_pg_lsn);
+    auto page_it = records_by_page_.find(rec.page_id);
+    if (page_it != records_by_page_.end()) {
+      page_it->second.erase(rec.lsn);
+      if (page_it->second.empty()) records_by_page_.erase(page_it);
+    }
+    it = hot_log_.erase(it);
+    ++collected;
+  }
+  return collected;
+}
+
+Status Segment::Truncate(Lsn above, Epoch epoch) {
+  if (epoch < epoch_) {
+    return Status::Stale("truncate from an older volume epoch");
+  }
+  epoch_ = epoch;
+  AURORA_CHECK(applied_lsn_ <= above,
+               "truncation below materialized pages — VDL went backwards");
+  auto it = hot_log_.upper_bound(above);
+  while (it != hot_log_.end()) {
+    const LogRecord& rec = it->second;
+    chain_.erase(rec.prev_pg_lsn);
+    auto page_it = records_by_page_.find(rec.page_id);
+    if (page_it != records_by_page_.end()) {
+      page_it->second.erase(rec.lsn);
+      if (page_it->second.empty()) records_by_page_.erase(page_it);
+    }
+    it = hot_log_.erase(it);
+  }
+  if (scl_ > above) scl_ = above;
+  if (max_lsn_ > above) max_lsn_ = above;
+  if (backup_lsn_ > above) backup_lsn_ = above;
+  // The chain may now extend again from a lower point (it shouldn't, but
+  // recompute defensively).
+  AdvanceScl();
+  return Status::OK();
+}
+
+size_t Segment::ScrubPages() {
+  size_t corrupt = 0;
+  for (const auto& [id, page] : base_pages_) {
+    if (!page.VerifyCrc()) {
+      corrupt_pages_.insert(id);
+      ++corrupt;
+    }
+  }
+  return corrupt;
+}
+
+void Segment::DropPageForRepair(PageId page) {
+  base_pages_.erase(page);
+  corrupt_pages_.erase(page);
+}
+
+void Segment::RestoreBasePage(PageId page, Page healthy) {
+  corrupt_pages_.erase(page);
+  base_pages_.insert_or_assign(page, std::move(healthy));
+}
+
+void Segment::CorruptBasePageForTesting(PageId page) {
+  auto it = base_pages_.find(page);
+  if (it != base_pages_.end()) it->second.CorruptForTesting(100);
+}
+
+std::vector<LogRecord> Segment::UnbackedRecords(size_t max) const {
+  std::vector<LogRecord> out;
+  for (auto it = hot_log_.upper_bound(backup_lsn_);
+       it != hot_log_.end() && it->first <= scl_ && out.size() < max; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+void Segment::SerializeTo(std::string* dst) const {
+  PutVarint32(dst, pg_);
+  PutVarint64(dst, page_size_);
+  PutVarint64(dst, scl_);
+  PutVarint64(dst, max_lsn_);
+  PutVarint64(dst, vdl_hint_);
+  PutVarint64(dst, pgmrpl_);
+  PutVarint64(dst, backup_lsn_);
+  PutVarint64(dst, epoch_);
+  PutVarint64(dst, applied_lsn_);
+  PutVarint64(dst, hot_log_.size());
+  for (const auto& [lsn, rec] : hot_log_) {
+    rec.EncodeTo(dst);
+  }
+  PutVarint64(dst, base_pages_.size());
+  for (const auto& [id, page] : base_pages_) {
+    PutVarint64(dst, id);
+    PutLengthPrefixedSlice(dst, page.raw());
+  }
+}
+
+Status Segment::DeserializeFrom(Slice input) {
+  uint32_t pg;
+  uint64_t page_size, n_records, n_pages;
+  if (!GetVarint32(&input, &pg) || !GetVarint64(&input, &page_size) ||
+      !GetVarint64(&input, &scl_) || !GetVarint64(&input, &max_lsn_) ||
+      !GetVarint64(&input, &vdl_hint_) || !GetVarint64(&input, &pgmrpl_) ||
+      !GetVarint64(&input, &backup_lsn_) || !GetVarint64(&input, &epoch_) ||
+      !GetVarint64(&input, &applied_lsn_) ||
+      !GetVarint64(&input, &n_records)) {
+    return Status::Corruption("bad segment state header");
+  }
+  pg_ = pg;
+  page_size_ = page_size;
+  hot_log_.clear();
+  chain_.clear();
+  records_by_page_.clear();
+  base_pages_.clear();
+  for (uint64_t i = 0; i < n_records; ++i) {
+    LogRecord rec;
+    Status s = LogRecord::DecodeFrom(&input, &rec);
+    if (!s.ok()) return s;
+    chain_[rec.prev_pg_lsn] = rec.lsn;
+    records_by_page_[rec.page_id].insert(rec.lsn);
+    hot_log_.emplace(rec.lsn, std::move(rec));
+  }
+  if (!GetVarint64(&input, &n_pages)) {
+    return Status::Corruption("bad segment state pages");
+  }
+  for (uint64_t i = 0; i < n_pages; ++i) {
+    uint64_t id;
+    Slice raw;
+    if (!GetVarint64(&input, &id) || !GetLengthPrefixedSlice(&input, &raw)) {
+      return Status::Corruption("bad segment page entry");
+    }
+    Page page(page_size_);
+    Status s = page.LoadRaw(raw);
+    if (!s.ok()) return s;
+    base_pages_.emplace(id, std::move(page));
+  }
+  return Status::OK();
+}
+
+uint64_t Segment::ApproximateBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [lsn, rec] : hot_log_) bytes += rec.EncodedSize();
+  bytes += base_pages_.size() * page_size_;
+  return bytes;
+}
+
+}  // namespace aurora

@@ -1,0 +1,188 @@
+#ifndef AURORA_STORAGE_SEGMENT_H_
+#define AURORA_STORAGE_SEGMENT_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "log/log_record.h"
+#include "log/types.h"
+#include "page/page.h"
+#include "storage/wire.h"
+
+namespace aurora {
+
+/// One segment replica: the durable state a storage node keeps for one
+/// protection group (§2.2, Figure 4). Pure state machine — all timing
+/// (disk persistence, gossip cadence, scrubbing) lives in StorageNode.
+///
+/// State:
+///  - the hot log: redo records addressed to this PG, keyed by LSN;
+///  - the backlink chain index, from which the Segment Complete LSN (SCL) is
+///    maintained: the highest LSN below which this replica has every record
+///    of the PG (§4.2.1);
+///  - materialized base pages: each page's image advanced by coalescing log
+///    records (Figure 4 step 5), never beyond min(SCL, VDL hint, PGMRPL) so
+///    that (a) truncation after a crash can never undo a materialized page
+///    and (b) any read point >= PGMRPL remains reconstructable;
+///  - watermarks: VDL hint (piggybacked by the writer), PGMRPL, the volume
+///    epoch, and the S3 backup high-water mark.
+class Segment {
+ public:
+  Segment(PgId pg, size_t page_size) : pg_(pg), page_size_(page_size) {}
+
+  /// Pre-loaded (snapshot-restored) volumes: pages that have never been
+  /// written through the log can be synthesized deterministically on first
+  /// touch instead of being materialized eagerly — the simulation analogue
+  /// of a volume restored from an S3 snapshot. The function returns true if
+  /// it produced the page's base image.
+  using PageSynthesizer = std::function<bool(PageId, Page*)>;
+  void set_page_synthesizer(PageSynthesizer fn) {
+    synthesizer_ = std::move(fn);
+  }
+
+  PgId pg() const { return pg_; }
+  size_t page_size() const { return page_size_; }
+
+  // --- Hot log -------------------------------------------------------------
+  /// Adds a record (from a writer batch or peer gossip); duplicates are
+  /// ignored. Returns true if the record was new. Advances the SCL when the
+  /// backlink chain extends.
+  bool AddRecord(const LogRecord& record);
+
+  /// Segment Complete LSN: every record of the PG with LSN <= scl() is here.
+  Lsn scl() const { return scl_; }
+  /// Highest record LSN seen (may be beyond a gap).
+  Lsn max_lsn() const { return max_lsn_; }
+  /// True when records exist above the SCL (a gap is open).
+  bool has_gap() const { return max_lsn_ > scl_; }
+
+  bool HasRecord(Lsn lsn) const { return hot_log_.count(lsn) > 0; }
+  size_t hot_log_size() const { return hot_log_.size(); }
+
+  /// Records this replica has with LSN > `from`, up to `max` of them, in
+  /// LSN order — the gossip-push payload.
+  std::vector<LogRecord> RecordsAbove(Lsn from, size_t max) const;
+
+  /// The recovery inventory: (lsn, prev, flags) of every hot-log record.
+  std::vector<InventoryEntry> Inventory() const;
+
+  // --- Watermarks ----------------------------------------------------------
+  void SetVdlHint(Lsn vdl) {
+    if (vdl > vdl_hint_) vdl_hint_ = vdl;
+  }
+  Lsn vdl_hint() const { return vdl_hint_; }
+  void SetPgmrpl(Lsn lsn) {
+    if (lsn > pgmrpl_) pgmrpl_ = lsn;
+  }
+  Lsn pgmrpl() const { return pgmrpl_; }
+  Epoch epoch() const { return epoch_; }
+
+  /// Completeness snapshot for idle PGs: as of volume VDL `vdl_snapshot`,
+  /// this PG's newest record is `pg_tail`. Lets GetPageAsOf serve read
+  /// points up to vdl_snapshot once the chain reaches pg_tail.
+  void SetCompletenessSnapshot(Lsn vdl_snapshot, Lsn pg_tail) {
+    if (vdl_snapshot > snapshot_vdl_) {
+      snapshot_vdl_ = vdl_snapshot;
+      snapshot_tail_ = pg_tail;
+    }
+  }
+
+  // --- Materialization & reads ---------------------------------------------
+  /// Applies up to `max_records` coalescable records (LSN <= the
+  /// materialization limit) to base pages. Returns how many were applied.
+  size_t CoalesceStep(size_t max_records);
+
+  /// LSN up to which base pages may be advanced.
+  Lsn MaterializationLimit() const;
+
+  /// All records with LSN <= `floor` are reflected in base pages.
+  Lsn applied_lsn() const { return applied_lsn_; }
+
+  /// Reconstructs the page as of `read_point` (base image + log applies).
+  /// Fails with:
+  ///  - Unavailable if read_point > scl() (this replica can't guarantee
+  ///    completeness — the caller picked the wrong segment);
+  ///  - Stale if read_point < the GC low-water mark;
+  ///  - NotFound if the page has never been written.
+  Result<Page> GetPageAsOf(PageId page, Lsn read_point) const;
+
+  /// Number of materialized base pages.
+  size_t num_pages() const { return base_pages_.size(); }
+
+  // --- GC / truncation / scrub ----------------------------------------------
+  /// Drops hot-log records that are both applied to base pages and below the
+  /// PGMRPL (Figure 4 step 7). Returns how many records were collected.
+  size_t GarbageCollect();
+
+  /// Removes every record with LSN > `above`. Stale if `epoch` is older than
+  /// the segment's current epoch; otherwise adopts the epoch. Idempotent.
+  Status Truncate(Lsn above, Epoch epoch);
+
+  /// Verifies CRCs of all base pages (Figure 4 step 8); returns the number
+  /// of corrupt pages found (and records them for repair).
+  size_t ScrubPages();
+  const std::set<PageId>& corrupt_pages() const { return corrupt_pages_; }
+  /// Drops a corrupt base page so it re-materializes from a peer copy.
+  void DropPageForRepair(PageId page);
+  /// Installs a healthy copy of a base page fetched from a peer. The copy
+  /// may be ahead of this replica's applied floor; redo application is
+  /// idempotent so subsequent coalescing is safe.
+  void RestoreBasePage(PageId page, Page healthy);
+  /// Testing hook: flips a bit in a materialized base page.
+  void CorruptBasePageForTesting(PageId page);
+
+  // --- Backup --------------------------------------------------------------
+  /// Records with LSN in (backup_lsn, scl] not yet staged to S3.
+  std::vector<LogRecord> UnbackedRecords(size_t max) const;
+  void MarkBackedUp(Lsn through) {
+    if (through > backup_lsn_) backup_lsn_ = through;
+  }
+  Lsn backup_lsn() const { return backup_lsn_; }
+
+  // --- Repair (re-replication) ----------------------------------------------
+  /// Full-state serialization: hot log, base pages, watermarks. The blob
+  /// size models the bytes moved during segment repair (§2.2).
+  void SerializeTo(std::string* dst) const;
+  Status DeserializeFrom(Slice input);
+
+  /// Approximate byte footprint (hot log + pages), for repair-time modeling.
+  uint64_t ApproximateBytes() const;
+
+ private:
+  void AdvanceScl();
+  const LogRecord* RecordAt(Lsn lsn) const;
+
+  PgId pg_;
+  size_t page_size_;
+
+  std::map<Lsn, LogRecord> hot_log_;
+  std::map<Lsn, Lsn> chain_;  // prev lsn -> lsn
+  std::map<PageId, std::set<Lsn>> records_by_page_;
+
+  /// Fetches the base page, creating it (empty or synthesized) on demand.
+  Page* BasePage(PageId page);
+
+  std::map<PageId, Page> base_pages_;
+  PageSynthesizer synthesizer_;
+  Lsn applied_lsn_ = kInvalidLsn;
+
+  Lsn scl_ = kInvalidLsn;
+  Lsn max_lsn_ = kInvalidLsn;
+  Lsn vdl_hint_ = kInvalidLsn;
+  Lsn pgmrpl_ = kInvalidLsn;
+  Lsn backup_lsn_ = kInvalidLsn;
+  Lsn snapshot_vdl_ = kInvalidLsn;
+  Lsn snapshot_tail_ = kInvalidLsn;
+  Epoch epoch_ = 0;
+
+  std::set<PageId> corrupt_pages_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_STORAGE_SEGMENT_H_

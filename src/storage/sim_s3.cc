@@ -1,0 +1,41 @@
+#include "storage/sim_s3.h"
+
+namespace aurora {
+
+void SimS3::Put(const std::string& key, std::string bytes,
+                std::function<void(Status)> done) {
+  ++puts_;
+  auto it = objects_.find(key);
+  if (it != objects_.end()) bytes_stored_ -= it->second.size();
+  bytes_stored_ += bytes.size();
+  objects_[key] = std::move(bytes);
+  loop_->Schedule(Latency(options_.put_latency),
+                  [done = std::move(done)]() { done(Status::OK()); });
+}
+
+void SimS3::Get(const std::string& key,
+                std::function<void(Result<std::string>)> done) {
+  ++gets_;
+  Result<std::string> result = GetSync(key);
+  loop_->Schedule(Latency(options_.get_latency),
+                  [done = std::move(done), result = std::move(result)]() {
+                    done(std::move(result));
+                  });
+}
+
+Result<std::string> SimS3::GetSync(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no such object");
+  return it->second;
+}
+
+std::vector<std::string> SimS3::ListKeys(const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+}  // namespace aurora

@@ -1,0 +1,477 @@
+#include "storage/storage_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aurora {
+
+StorageNode::StorageNode(sim::EventLoop* loop, sim::Network* network,
+                         sim::NodeId id, ControlPlane* control_plane,
+                         SimS3* s3, StorageNodeOptions options, Random rng)
+    : loop_(loop),
+      network_(network),
+      id_(id),
+      control_plane_(control_plane),
+      s3_(s3),
+      options_(options),
+      rng_(rng),
+      disk_(loop, options.disk, rng.Fork()) {
+  network_->Register(id_, [this](const sim::Message& m) { HandleMessage(m); });
+  ScheduleBackgroundTasks();
+}
+
+void StorageNode::CreateSegment(PgId pg, size_t page_size) {
+  auto seg = std::make_unique<Segment>(pg, page_size);
+  if (control_plane_->page_synthesizer()) {
+    seg->set_page_synthesizer(control_plane_->page_synthesizer());
+  }
+  segments_[pg] = std::move(seg);
+}
+
+void StorageNode::InstallSynthesizerOnSegments(
+    const Segment::PageSynthesizer& fn) {
+  for (auto& [pg, seg] : segments_) {
+    seg->set_page_synthesizer(fn);
+  }
+}
+
+void StorageNode::DropSegment(PgId pg) { segments_.erase(pg); }
+
+Segment* StorageNode::segment(PgId pg) {
+  auto it = segments_.find(pg);
+  return it == segments_.end() ? nullptr : it->second.get();
+}
+
+const Segment* StorageNode::segment(PgId pg) const {
+  auto it = segments_.find(pg);
+  return it == segments_.end() ? nullptr : it->second.get();
+}
+
+void StorageNode::Crash() {
+  crashed_ = true;
+  ++generation_;
+}
+
+void StorageNode::Restart() {
+  crashed_ = false;
+  ++generation_;
+  // A node that slept through a recovery may hold annulled log records;
+  // re-apply any truncation ranges recorded while it was down (§4.3: the
+  // ranges are epoch-versioned and durable precisely for this).
+  for (const auto& tr : control_plane_->truncations()) {
+    for (auto& [pg, seg] : segments_) {
+      if (tr.epoch > seg->epoch()) {
+        seg->Truncate(tr.above, tr.epoch);
+      }
+    }
+  }
+  ScheduleBackgroundTasks();
+}
+
+uint64_t StorageNode::SegmentBytes(PgId pg) const {
+  const Segment* seg = segment(pg);
+  return seg ? seg->ApproximateBytes() : 0;
+}
+
+bool StorageNode::Busy() const {
+  return disk_.backlog() > options_.background_backlog_limit;
+}
+
+void StorageNode::ScheduleBackgroundTasks() {
+  const uint64_t gen = generation_;
+  // Stagger the first firing of each task so a fleet of nodes doesn't beat
+  // in lockstep.
+  auto stagger = [this](SimDuration d) { return rng_.Uniform(d) + 1; };
+  loop_->Schedule(stagger(options_.gossip_interval), [this, gen] {
+    if (gen == generation_ && !crashed_) GossipTick();
+  });
+  loop_->Schedule(stagger(options_.coalesce_interval), [this, gen] {
+    if (gen == generation_ && !crashed_) CoalesceTick();
+  });
+  loop_->Schedule(stagger(options_.gc_interval), [this, gen] {
+    if (gen == generation_ && !crashed_) GcTick();
+  });
+  loop_->Schedule(stagger(options_.scrub_interval), [this, gen] {
+    if (gen == generation_ && !crashed_) ScrubTick();
+  });
+  loop_->Schedule(stagger(options_.backup_interval), [this, gen] {
+    if (gen == generation_ && !crashed_) BackupTick();
+  });
+}
+
+void StorageNode::HandleMessage(const sim::Message& msg) {
+  if (crashed_) return;
+  switch (msg.type) {
+    case kMsgWriteBatch:
+      HandleWriteBatch(msg);
+      break;
+    case kMsgReadPageReq:
+      HandleReadPage(msg);
+      break;
+    case kMsgInventoryReq:
+      HandleInventory(msg);
+      break;
+    case kMsgTruncateReq:
+      HandleTruncate(msg);
+      break;
+    case kMsgPgmrplUpdate:
+      HandlePgmrpl(msg);
+      break;
+    case kMsgGossipPull:
+      HandleGossipPull(msg);
+      break;
+    case kMsgGossipPush:
+      HandleGossipPush(msg);
+      break;
+    case kMsgSegmentStateReq:
+      HandleSegmentStateReq(msg);
+      break;
+    case kMsgSegmentStateResp:
+      HandleSegmentStateResp(msg);
+      break;
+    default:
+      AURORA_WARN("storage node %u: unexpected message type %u", id_,
+                  msg.type);
+  }
+}
+
+void StorageNode::HandleWriteBatch(const sim::Message& msg) {
+  WriteBatchMsg batch;
+  if (!WriteBatchMsg::DecodeFrom(msg.payload, &batch).ok()) return;
+  Segment* seg = segment(batch.pg);
+  if (seg == nullptr) return;  // not a member (anymore)
+  ++stats_.batches_received;
+  stats_.records_received += batch.records.size();
+
+  // Figure 4 steps 1-2: queue, persist on disk, then acknowledge. The disk
+  // write covers the batch bytes; segment bookkeeping happens at completion
+  // (a crash before completion loses the batch, which is exactly the
+  // durability contract — unacked writes may vanish).
+  const uint64_t gen = generation_;
+  const uint64_t bytes = msg.payload.size();
+  disk_.Write(bytes, [this, gen, batch = std::move(batch),
+                      from = msg.from](Status s) mutable {
+    if (gen != generation_ || crashed_ || !s.ok()) return;
+    Segment* seg = segment(batch.pg);
+    if (seg == nullptr) return;
+    seg->SetVdlHint(batch.vdl_hint);
+    seg->SetPgmrpl(batch.pgmrpl_hint);
+    for (const LogRecord& r : batch.records) {
+      seg->AddRecord(r);
+    }
+    WriteAckMsg ack;
+    ack.pg = batch.pg;
+    ack.replica = batch.replica;
+    ack.batch_seq = batch.batch_seq;
+    ack.scl = seg->scl();
+    std::string payload;
+    ack.EncodeTo(&payload);
+    network_->Send(id_, from, kMsgWriteAck, std::move(payload));
+    ++stats_.acks_sent;
+  });
+}
+
+void StorageNode::HandleReadPage(const sim::Message& msg) {
+  ReadPageReqMsg req;
+  if (!ReadPageReqMsg::DecodeFrom(msg.payload, &req).ok()) return;
+  const uint64_t gen = generation_;
+  // One device read to serve a page miss.
+  Segment* seg = segment(req.pg);
+  size_t read_bytes = seg ? seg->page_size() : 4096;
+  disk_.Read(read_bytes, [this, gen, req, from = msg.from](Status ds) {
+    if (gen != generation_ || crashed_) return;
+    ReadPageRespMsg resp;
+    resp.req_id = req.req_id;
+    Segment* seg = segment(req.pg);
+    if (!ds.ok()) {
+      resp.status_code = static_cast<uint8_t>(Status::Code::kIOError);
+    } else if (seg == nullptr) {
+      resp.status_code = static_cast<uint8_t>(Status::Code::kNotFound);
+      ++stats_.page_read_errors;
+    } else {
+      Result<Page> page = seg->GetPageAsOf(req.page, req.read_point);
+      if (page.ok()) {
+        resp.status_code = static_cast<uint8_t>(Status::Code::kOk);
+        resp.page_lsn = page->page_lsn();
+        resp.page_bytes = page->raw();
+        ++stats_.page_reads_served;
+      } else {
+        resp.status_code = static_cast<uint8_t>(page.status().code());
+        ++stats_.page_read_errors;
+      }
+    }
+    std::string payload;
+    resp.EncodeTo(&payload);
+    network_->Send(id_, from, kMsgReadPageResp, std::move(payload));
+  });
+}
+
+void StorageNode::HandleInventory(const sim::Message& msg) {
+  InventoryReqMsg req;
+  if (!InventoryReqMsg::DecodeFrom(msg.payload, &req).ok()) return;
+  Segment* seg = segment(req.pg);
+  if (seg == nullptr) return;
+  InventoryRespMsg resp;
+  resp.req_id = req.req_id;
+  resp.pg = req.pg;
+  resp.replica = static_cast<ReplicaIdx>(
+      std::max(0, control_plane_->membership(req.pg).IndexOf(id_)));
+  resp.epoch = seg->epoch();
+  resp.scl = seg->scl();
+  resp.vdl_hint = seg->vdl_hint();
+  resp.entries = seg->Inventory();
+  std::string payload;
+  resp.EncodeTo(&payload);
+  network_->Send(id_, msg.from, kMsgInventoryResp, std::move(payload));
+}
+
+void StorageNode::HandleTruncate(const sim::Message& msg) {
+  TruncateReqMsg req;
+  if (!TruncateReqMsg::DecodeFrom(msg.payload, &req).ok()) return;
+  Segment* seg = segment(req.pg);
+  if (seg == nullptr) return;
+  Status s = seg->Truncate(req.truncate_above, req.epoch);
+  if (s.IsStale()) ++stats_.stale_epoch_rejects;
+  // Persist the truncation metadata, then ack.
+  const uint64_t gen = generation_;
+  disk_.Write(64, [this, gen, req, s, from = msg.from](Status ds) {
+    if (gen != generation_ || crashed_) return;
+    TruncateAckMsg ack;
+    ack.req_id = req.req_id;
+    ack.pg = req.pg;
+    ack.replica = static_cast<ReplicaIdx>(
+        std::max(0, control_plane_->membership(req.pg).IndexOf(id_)));
+    ack.status_code = static_cast<uint8_t>(
+        !ds.ok() ? Status::Code::kIOError : s.code());
+    std::string payload;
+    ack.EncodeTo(&payload);
+    network_->Send(id_, from, kMsgTruncateAck, std::move(payload));
+  });
+}
+
+void StorageNode::HandlePgmrpl(const sim::Message& msg) {
+  PgmrplMsg m;
+  if (!PgmrplMsg::DecodeFrom(msg.payload, &m).ok()) return;
+  Segment* seg = segment(m.pg);
+  if (seg == nullptr) return;
+  seg->SetPgmrpl(m.pgmrpl);
+  if (m.has_snapshot) {
+    seg->SetVdlHint(m.vdl_snapshot);
+    seg->SetCompletenessSnapshot(m.vdl_snapshot, m.pg_tail);
+  }
+}
+
+void StorageNode::GossipTick() {
+  const uint64_t gen = generation_;
+  loop_->Schedule(options_.gossip_interval, [this, gen] {
+    if (gen == generation_ && !crashed_) GossipTick();
+  });
+  if (Busy()) {
+    ++stats_.background_deferrals;
+    return;
+  }
+  // For each hosted segment, ask one random peer what we're missing
+  // (Figure 4 step 4). Pull-based: we advertise our SCL; the peer pushes
+  // anything above it.
+  for (auto& [pg, seg] : segments_) {
+    const PgMembership& members = control_plane_->membership(pg);
+    int self = members.IndexOf(id_);
+    if (self < 0) continue;
+    // Gossip is only useful when a gap is open or we might be behind; a
+    // cheap randomized probe handles the "don't know what we don't know"
+    // case.
+    int peer_idx = static_cast<int>(rng_.Uniform(kReplicasPerPg - 1));
+    if (peer_idx >= self) ++peer_idx;
+    GossipPullMsg pull;
+    pull.pg = pg;
+    pull.replica = static_cast<ReplicaIdx>(self);
+    pull.scl = seg->scl();
+    pull.max_lsn = seg->max_lsn();
+    std::string payload;
+    pull.EncodeTo(&payload);
+    network_->Send(id_, members.nodes[peer_idx], kMsgGossipPull,
+                   std::move(payload));
+    ++stats_.gossip_rounds;
+  }
+}
+
+void StorageNode::HandleGossipPull(const sim::Message& msg) {
+  GossipPullMsg pull;
+  if (!GossipPullMsg::DecodeFrom(msg.payload, &pull).ok()) return;
+  Segment* seg = segment(pull.pg);
+  if (seg == nullptr) return;
+  if (seg->max_lsn() <= pull.scl) return;  // nothing to offer
+  GossipPushMsg push;
+  push.pg = pull.pg;
+  push.records = seg->RecordsAbove(pull.scl, options_.gossip_max_records);
+  if (push.records.empty()) return;
+  stats_.gossip_records_sent += push.records.size();
+  std::string payload;
+  push.EncodeTo(&payload);
+  network_->Send(id_, msg.from, kMsgGossipPush, std::move(payload));
+}
+
+void StorageNode::HandleGossipPush(const sim::Message& msg) {
+  GossipPushMsg push;
+  if (!GossipPushMsg::DecodeFrom(msg.payload, &push).ok()) return;
+  Segment* seg = segment(push.pg);
+  if (seg == nullptr) return;
+  // Persist backfilled records before integrating them, same as writer
+  // batches.
+  const uint64_t gen = generation_;
+  const uint64_t bytes = msg.payload.size();
+  disk_.Write(bytes, [this, gen, push = std::move(push)](Status s) {
+    if (gen != generation_ || crashed_ || !s.ok()) return;
+    Segment* seg = segment(push.pg);
+    if (seg == nullptr) return;
+    for (const LogRecord& r : push.records) {
+      if (seg->AddRecord(r)) ++stats_.gossip_records_filled;
+    }
+  });
+}
+
+void StorageNode::CoalesceTick() {
+  const uint64_t gen = generation_;
+  loop_->Schedule(options_.coalesce_interval, [this, gen] {
+    if (gen == generation_ && !crashed_) CoalesceTick();
+  });
+  if (Busy()) {
+    ++stats_.background_deferrals;
+    return;
+  }
+  size_t budget = options_.coalesce_batch;
+  for (auto& [pg, seg] : segments_) {
+    if (budget == 0) break;
+    size_t applied = seg->CoalesceStep(budget);
+    budget -= applied;
+    stats_.records_coalesced += applied;
+    if (applied > 0) {
+      // Model the page writes of materialization as one aggregated disk
+      // write (log-structured, sequential).
+      disk_.Write(applied * 64 + seg->page_size(), [](Status) {});
+    }
+  }
+}
+
+void StorageNode::GcTick() {
+  const uint64_t gen = generation_;
+  loop_->Schedule(options_.gc_interval, [this, gen] {
+    if (gen == generation_ && !crashed_) GcTick();
+  });
+  if (Busy()) {
+    ++stats_.background_deferrals;
+    return;
+  }
+  for (auto& [pg, seg] : segments_) {
+    stats_.records_gced += seg->GarbageCollect();
+  }
+}
+
+void StorageNode::ScrubTick() {
+  const uint64_t gen = generation_;
+  loop_->Schedule(options_.scrub_interval, [this, gen] {
+    if (gen == generation_ && !crashed_) ScrubTick();
+  });
+  if (Busy()) {
+    ++stats_.background_deferrals;
+    return;
+  }
+  for (auto& [pg, seg] : segments_) {
+    ++stats_.scrub_rounds;
+    size_t corrupt = seg->ScrubPages();
+    if (corrupt == 0) continue;
+    stats_.corrupt_pages_found += corrupt;
+    // Self-heal: drop the bad base image; it re-materializes from the log,
+    // and if the log is gone, fetch the page from a healthy peer.
+    std::vector<PageId> bad(seg->corrupt_pages().begin(),
+                            seg->corrupt_pages().end());
+    for (PageId page : bad) {
+      seg->DropPageForRepair(page);
+      // Fetch a healthy copy from any live peer (control-plane mediated;
+      // whole-segment repair uses the SegmentStateReq data path instead).
+      const PgMembership& members = control_plane_->membership(pg);
+      for (sim::NodeId peer : members.nodes) {
+        if (peer == id_) continue;
+        StorageNode* peer_node = control_plane_->node(peer);
+        if (peer_node == nullptr || peer_node->crashed()) continue;
+        const Segment* peer_seg = peer_node->segment(pg);
+        if (peer_seg == nullptr) continue;
+        Result<Page> healthy =
+            peer_seg->GetPageAsOf(page, peer_seg->applied_lsn());
+        if (healthy.ok()) {
+          seg->RestoreBasePage(page, std::move(*healthy));
+          ++stats_.corrupt_pages_repaired;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void StorageNode::BackupTick() {
+  const uint64_t gen = generation_;
+  loop_->Schedule(options_.backup_interval, [this, gen] {
+    if (gen == generation_ && !crashed_) BackupTick();
+  });
+  if (Busy() || s3_ == nullptr) {
+    if (Busy()) ++stats_.background_deferrals;
+    return;
+  }
+  // Figure 4 step 6: continuously stage complete log to S3. Replica 0 of
+  // each PG is the designated uploader to avoid 6x duplicate archives.
+  for (auto& [pg, seg] : segments_) {
+    const PgMembership& members = control_plane_->membership(pg);
+    if (members.IndexOf(id_) != 0) continue;
+    std::vector<LogRecord> records =
+        seg->UnbackedRecords(options_.backup_max_records);
+    if (records.empty()) continue;
+    std::string blob;
+    EncodeRecordBatch(records, &blob);
+    Lsn through = records.back().lsn;
+    char key[64];
+    snprintf(key, sizeof(key), "backup/pg%06u/%020llu",
+             static_cast<unsigned>(pg),
+             static_cast<unsigned long long>(through));
+    s3_->Put(key, std::move(blob), [](Status) {});
+    seg->MarkBackedUp(through);
+    ++stats_.backup_objects;
+  }
+}
+
+void StorageNode::HandleSegmentStateReq(const sim::Message& msg) {
+  SegmentStateReqMsg req;
+  if (!SegmentStateReqMsg::DecodeFrom(msg.payload, &req).ok()) return;
+  Segment* seg = segment(req.pg);
+  if (seg == nullptr) return;
+  SegmentStateRespMsg resp;
+  resp.req_id = req.req_id;
+  resp.pg = req.pg;
+  seg->SerializeTo(&resp.state);
+  const uint64_t gen = generation_;
+  // Reading the whole segment off disk to serve the copy.
+  disk_.Read(resp.state.size(), [this, gen, resp = std::move(resp),
+                                 from = msg.from](Status s) mutable {
+    if (gen != generation_ || crashed_ || !s.ok()) return;
+    std::string payload;
+    resp.EncodeTo(&payload);
+    network_->Send(id_, from, kMsgSegmentStateResp, std::move(payload));
+  });
+}
+
+void StorageNode::HandleSegmentStateResp(const sim::Message& msg) {
+  SegmentStateRespMsg resp;
+  if (!SegmentStateRespMsg::DecodeFrom(msg.payload, &resp).ok()) return;
+  // Persist the received copy, then install it.
+  const uint64_t gen = generation_;
+  disk_.Write(resp.state.size(), [this, gen,
+                                  resp = std::move(resp)](Status s) {
+    if (gen != generation_ || crashed_ || !s.ok()) return;
+    auto seg = std::make_unique<Segment>(resp.pg, Page::kMinPageSize);
+    if (!seg->DeserializeFrom(resp.state).ok()) return;
+    segments_[resp.pg] = std::move(seg);
+    if (segment_installed_cb_) segment_installed_cb_(resp.pg);
+  });
+}
+
+}  // namespace aurora

@@ -1,0 +1,146 @@
+#ifndef AURORA_STORAGE_STORAGE_NODE_H_
+#define AURORA_STORAGE_STORAGE_NODE_H_
+
+#include <map>
+#include <memory>
+
+#include "common/random.h"
+#include "sim/disk.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "storage/control_plane.h"
+#include "storage/segment.h"
+#include "storage/sim_s3.h"
+#include "storage/wire.h"
+
+namespace aurora {
+
+/// Behavioural knobs of a storage host. Intervals implement the "move the
+/// majority of storage processing to the background" tenet of §3.3.
+struct StorageNodeOptions {
+  sim::DiskOptions disk;
+  SimDuration gossip_interval = Millis(100);
+  SimDuration coalesce_interval = Millis(20);
+  size_t coalesce_batch = 512;
+  SimDuration gc_interval = Millis(200);
+  SimDuration scrub_interval = Seconds(30);
+  SimDuration backup_interval = Millis(500);
+  size_t gossip_max_records = 1024;
+  size_t backup_max_records = 4096;
+  /// Background work is deferred while the disk backlog exceeds this —
+  /// §3.3's negative correlation between background and foreground load.
+  SimDuration background_backlog_limit = Millis(5);
+  /// Ack batches without waiting for the disk (testing only; default off —
+  /// the paper requires persistence before acknowledgement).
+  bool unsafe_ack_before_persist = false;
+};
+
+/// Counters for one storage host.
+struct StorageNodeStats {
+  uint64_t batches_received = 0;
+  uint64_t records_received = 0;
+  uint64_t acks_sent = 0;
+  uint64_t page_reads_served = 0;
+  uint64_t page_read_errors = 0;
+  uint64_t gossip_rounds = 0;
+  uint64_t gossip_records_sent = 0;
+  uint64_t gossip_records_filled = 0;
+  uint64_t records_coalesced = 0;
+  uint64_t records_gced = 0;
+  uint64_t scrub_rounds = 0;
+  uint64_t corrupt_pages_found = 0;
+  uint64_t corrupt_pages_repaired = 0;
+  uint64_t backup_objects = 0;
+  uint64_t background_deferrals = 0;
+  uint64_t stale_epoch_rejects = 0;
+};
+
+/// A storage host: local SSD plus the eight-step I/O pipeline of Figure 4:
+/// (1) receive a log-record batch into the in-memory queue, (2) persist on
+/// disk and ACK, (3) organize records and identify gaps (Segment's chain),
+/// (4) gossip with peers to fill holes, (5) coalesce log records into data
+/// pages, (6) periodically stage log and pages to S3, (7) garbage collect
+/// old versions, (8) periodically validate page CRCs.
+/// Steps 1–2 are the only foreground work; everything else runs on timers
+/// and yields to foreground load.
+class StorageNode {
+ public:
+  StorageNode(sim::EventLoop* loop, sim::Network* network, sim::NodeId id,
+              ControlPlane* control_plane, SimS3* s3,
+              StorageNodeOptions options, Random rng);
+
+  StorageNode(const StorageNode&) = delete;
+  StorageNode& operator=(const StorageNode&) = delete;
+
+  sim::NodeId id() const { return id_; }
+
+  /// Instantiates an (empty) segment replica for `pg`. Called by the
+  /// control plane at PG creation and by the repair manager on a
+  /// replacement host.
+  void CreateSegment(PgId pg, size_t page_size);
+  /// Installs the control plane's page synthesizer on all hosted segments.
+  void InstallSynthesizerOnSegments(const Segment::PageSynthesizer& fn);
+  void DropSegment(PgId pg);
+  Segment* segment(PgId pg);
+  const Segment* segment(PgId pg) const;
+  size_t num_segments() const { return segments_.size(); }
+
+  /// Crash-stop: in-flight (unpersisted) work is lost; segment state —
+  /// which is persisted before every ACK — survives on disk.
+  void Crash();
+  void Restart();
+  bool crashed() const { return crashed_; }
+
+  const StorageNodeStats& stats() const { return stats_; }
+  sim::Disk* disk() { return &disk_; }
+
+  /// For the repair manager: serialized segment state bytes.
+  uint64_t SegmentBytes(PgId pg) const;
+
+  /// Invoked after a full segment copy (repair) is installed on this host.
+  void set_segment_installed_callback(std::function<void(PgId)> cb) {
+    segment_installed_cb_ = std::move(cb);
+  }
+
+ private:
+  void HandleMessage(const sim::Message& msg);
+  void HandleWriteBatch(const sim::Message& msg);
+  void HandleReadPage(const sim::Message& msg);
+  void HandleInventory(const sim::Message& msg);
+  void HandleTruncate(const sim::Message& msg);
+  void HandlePgmrpl(const sim::Message& msg);
+  void HandleGossipPull(const sim::Message& msg);
+  void HandleGossipPush(const sim::Message& msg);
+  void HandleSegmentStateReq(const sim::Message& msg);
+  void HandleSegmentStateResp(const sim::Message& msg);
+
+  void ScheduleBackgroundTasks();
+  void GossipTick();
+  void CoalesceTick();
+  void GcTick();
+  void ScrubTick();
+  void BackupTick();
+  /// True when foreground load should defer background work (§3.3).
+  bool Busy() const;
+
+  sim::EventLoop* loop_;
+  sim::Network* network_;
+  sim::NodeId id_;
+  ControlPlane* control_plane_;
+  SimS3* s3_;
+  StorageNodeOptions options_;
+  Random rng_;
+  sim::Disk disk_;
+
+  std::map<PgId, std::unique_ptr<Segment>> segments_;
+  std::function<void(PgId)> segment_installed_cb_;
+  StorageNodeStats stats_;
+  bool crashed_ = false;
+  /// Bumped on every crash; stale async callbacks (disk completions from
+  /// before the crash) check it and become no-ops.
+  uint64_t generation_ = 0;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_STORAGE_STORAGE_NODE_H_

@@ -1,0 +1,233 @@
+#ifndef AURORA_STORAGE_WIRE_H_
+#define AURORA_STORAGE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "log/log_record.h"
+#include "log/types.h"
+
+namespace aurora {
+
+/// Message type tags on the simulated network. One namespace for the whole
+/// system so a single dispatcher per node suffices.
+enum MsgType : uint16_t {
+  // Writer -> storage node.
+  kMsgWriteBatch = 1,
+  kMsgReadPageReq = 3,
+  kMsgTruncateReq = 5,
+  kMsgPgmrplUpdate = 7,
+  kMsgInventoryReq = 8,
+  // Storage node -> writer.
+  kMsgWriteAck = 2,
+  kMsgReadPageResp = 4,
+  kMsgTruncateAck = 6,
+  kMsgInventoryResp = 9,
+  // Storage node <-> storage node.
+  kMsgGossipPull = 10,
+  kMsgGossipPush = 11,
+  kMsgSegmentStateReq = 12,
+  kMsgSegmentStateResp = 13,
+  // Writer -> read replica instance (§4.2.4).
+  kMsgReplicaLogStream = 14,
+  // Replica -> writer: read-point feedback for PGMRPL (§4.2.3).
+  kMsgReplicaReadPoint = 15,
+  // Baseline (mirrored MySQL over EBS) traffic.
+  kMsgEbsWrite = 20,
+  kMsgEbsWriteAck = 21,
+  kMsgEbsRead = 22,
+  kMsgEbsReadResp = 23,
+  kMsgBinlogShip = 24,
+  kMsgBinlogAck = 25,
+  kMsgStandbyShip = 26,
+  kMsgStandbyAck = 27,
+};
+
+/// Writer -> segment replica: one ordered batch of redo records for a PG
+/// (Figure 3). `vdl_hint` piggybacks the writer's current VDL so storage can
+/// bound background materialization; `commit_lsn_hint` does the same for
+/// replicas.
+struct WriteBatchMsg {
+  PgId pg = 0;
+  ReplicaIdx replica = 0;
+  Epoch epoch = 0;
+  uint64_t batch_seq = 0;
+  Lsn vdl_hint = kInvalidLsn;
+  Lsn pgmrpl_hint = kInvalidLsn;
+  std::vector<LogRecord> records;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, WriteBatchMsg* out);
+};
+
+/// Segment replica -> writer: batch persisted on disk (Figure 4 step 2).
+struct WriteAckMsg {
+  PgId pg = 0;
+  ReplicaIdx replica = 0;
+  uint64_t batch_seq = 0;
+  Lsn scl = kInvalidLsn;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, WriteAckMsg* out);
+};
+
+/// Writer -> segment replica: serve a page as of `read_point` (§4.2.3 —
+/// single-segment read, not a quorum read).
+struct ReadPageReqMsg {
+  uint64_t req_id = 0;
+  PgId pg = 0;
+  PageId page = kInvalidPage;
+  Lsn read_point = kInvalidLsn;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, ReadPageReqMsg* out);
+};
+
+struct ReadPageRespMsg {
+  uint64_t req_id = 0;
+  uint8_t status_code = 0;  // Status::Code
+  Lsn page_lsn = kInvalidLsn;
+  std::string page_bytes;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, ReadPageRespMsg* out);
+};
+
+/// Recovery: writer asks each reachable replica of a PG for its log-chain
+/// inventory above a base LSN (§4.3).
+struct InventoryReqMsg {
+  uint64_t req_id = 0;
+  PgId pg = 0;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, InventoryReqMsg* out);
+};
+
+struct InventoryEntry {
+  Lsn lsn = kInvalidLsn;
+  Lsn prev = kInvalidLsn;   // per-PG backlink
+  Lsn vprev = kInvalidLsn;  // volume-wide backlink
+  uint8_t flags = 0;
+};
+
+struct InventoryRespMsg {
+  uint64_t req_id = 0;
+  PgId pg = 0;
+  ReplicaIdx replica = 0;
+  Epoch epoch = 0;
+  Lsn scl = kInvalidLsn;
+  /// Highest VDL the writer ever told this segment (a durable completeness
+  /// floor: every record at or below it once reached a write quorum).
+  Lsn vdl_hint = kInvalidLsn;
+  std::vector<InventoryEntry> entries;  // all hot-log records (lsn,prev,flags)
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, InventoryRespMsg* out);
+};
+
+/// Recovery: truncate every log record above `truncate_above`, stamped with
+/// a new volume epoch so repeated/interrupted recoveries are idempotent.
+struct TruncateReqMsg {
+  uint64_t req_id = 0;
+  PgId pg = 0;
+  Epoch epoch = 0;
+  Lsn truncate_above = kInvalidLsn;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, TruncateReqMsg* out);
+};
+
+struct TruncateAckMsg {
+  uint64_t req_id = 0;
+  PgId pg = 0;
+  ReplicaIdx replica = 0;
+  uint8_t status_code = 0;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, TruncateAckMsg* out);
+};
+
+/// Writer -> storage: advance the PG's minimum read point (GC low-water
+/// mark, §4.2.3). Also carries a consistent completeness snapshot for idle
+/// PGs: "as of VDL `vdl_snapshot`, this PG's newest record is `pg_tail`" —
+/// a segment whose SCL reaches pg_tail can then serve any read point up to
+/// vdl_snapshot even though its SCL is far below it (brand-new and idle
+/// PGs would otherwise never be readable).
+struct PgmrplMsg {
+  PgId pg = 0;
+  Lsn pgmrpl = kInvalidLsn;
+  Lsn vdl_snapshot = kInvalidLsn;
+  Lsn pg_tail = kInvalidLsn;
+  bool has_snapshot = false;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, PgmrplMsg* out);
+};
+
+/// Peer gossip: "here is my SCL; push me anything newer you have"
+/// (Figure 4 step 4).
+struct GossipPullMsg {
+  PgId pg = 0;
+  ReplicaIdx replica = 0;  // sender
+  Lsn scl = kInvalidLsn;
+  Lsn max_lsn = kInvalidLsn;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, GossipPullMsg* out);
+};
+
+struct GossipPushMsg {
+  PgId pg = 0;
+  std::vector<LogRecord> records;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, GossipPushMsg* out);
+};
+
+/// Writer -> read replica: the redo stream plus watermark metadata
+/// (§4.2.4). Replicas apply records <= vdl to pages already in their cache
+/// and discard the rest; `commits` carries (commit LSN, writer timestamp)
+/// pairs for snapshot visibility and lag measurement.
+struct ReplicaStreamMsg {
+  Lsn vdl = kInvalidLsn;
+  std::vector<LogRecord> records;
+  std::vector<std::pair<Lsn, uint64_t>> commits;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, ReplicaStreamMsg* out);
+};
+
+/// Replica -> writer: the replica's minimum read point, folded into the
+/// PGMRPL (§4.2.3).
+struct ReplicaReadPointMsg {
+  Lsn read_point = kInvalidLsn;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, ReplicaReadPointMsg* out);
+};
+
+/// Repair: a replacement node asks a healthy peer for the full segment
+/// state (§2.2 — MTTR is segment transfer time).
+struct SegmentStateReqMsg {
+  uint64_t req_id = 0;
+  PgId pg = 0;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, SegmentStateReqMsg* out);
+};
+
+struct SegmentStateRespMsg {
+  uint64_t req_id = 0;
+  PgId pg = 0;
+  std::string state;  // Segment::SerializeTo blob
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, SegmentStateRespMsg* out);
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_STORAGE_WIRE_H_

@@ -1,0 +1,302 @@
+#include "workload/tpcc.h"
+
+#include <cstdio>
+
+namespace aurora {
+
+namespace {
+std::string FormatKey(const char* prefix, uint64_t a, uint64_t b, uint64_t c) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%s:%06llu:%03llu:%08llu", prefix,
+           static_cast<unsigned long long>(a),
+           static_cast<unsigned long long>(b),
+           static_cast<unsigned long long>(c));
+  return buf;
+}
+}  // namespace
+
+std::string TpccDriver::WarehouseKey(int w) { return FormatKey("w", w, 0, 0); }
+std::string TpccDriver::DistrictKey(int w, int d) {
+  return FormatKey("d", w, d, 0);
+}
+std::string TpccDriver::CustomerKey(int w, int d, int c) {
+  return FormatKey("c", w, d, c);
+}
+std::string TpccDriver::StockKey(int w, int i) {
+  return FormatKey("s", w, 0, i);
+}
+std::string TpccDriver::OrderKey(int w, int d, uint64_t o) {
+  return FormatKey("o", w, d, o);
+}
+
+TpccDriver::TpccDriver(sim::EventLoop* loop, ClientApi* client,
+                       TpccTables tables, TpccOptions options)
+    : loop_(loop), client_(client), tables_(tables), options_(options) {
+  Random seeder(options_.seed);
+  for (int i = 0; i < options_.connections; ++i) {
+    connections_.push_back(std::make_unique<Connection>(seeder.Next()));
+  }
+}
+
+void TpccDriver::Load(std::function<void(Status)> done) {
+  // Sequential autocommit inserts (one row at a time keeps the event queue
+  // small); warehouses and districts are tiny, customers/stock moderate.
+  struct LoadState {
+    int w = 1, d = 0, c = 0, s = 0;
+    int phase = 0;  // 0=warehouse 1=district 2=customer 3=stock 4=done
+  };
+  auto st = std::make_shared<LoadState>();
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, st, step, done]() {
+    PageId table = kInvalidPage;
+    std::string key, value;
+    switch (st->phase) {
+      case 0:
+        table = tables_.warehouse;
+        key = WarehouseKey(st->w);
+        value = "ytd=0";
+        if (++st->w > options_.warehouses) {
+          st->phase = 1;
+          st->w = 1;
+        }
+        break;
+      case 1:
+        table = tables_.district;
+        key = DistrictKey(st->w, st->d);
+        value = "next_o=1;ytd=0";
+        if (++st->d >= 10) {
+          st->d = 0;
+          if (++st->w > options_.warehouses) {
+            st->phase = 2;
+            st->w = 1;
+          }
+        }
+        break;
+      case 2:
+        table = tables_.customer;
+        key = CustomerKey(st->w, st->d, st->c);
+        value = "balance=0";
+        if (++st->c >= options_.customers_per_district) {
+          st->c = 0;
+          if (++st->d >= 10) {
+            st->d = 0;
+            if (++st->w > options_.warehouses) {
+              st->phase = 3;
+              st->w = 1;
+            }
+          }
+        }
+        break;
+      case 3:
+        table = tables_.stock;
+        key = StockKey(st->w, st->s);
+        value = "qty=91";
+        if (++st->s >= options_.stock_items) {
+          st->s = 0;
+          if (++st->w > options_.warehouses) st->phase = 4;
+        }
+        break;
+      default:
+        done(Status::OK());
+        return;
+    }
+    TxnId txn = client_->Begin();
+    client_->Put(txn, table, key, value, [this, txn, step, done](Status s) {
+      if (!s.ok()) {
+        done(s);
+        return;
+      }
+      client_->Commit(txn, [step, done](Status cs) {
+        if (!cs.ok()) {
+          done(cs);
+          return;
+        }
+        (*step)();
+      });
+    });
+  };
+  (*step)();
+}
+
+void TpccDriver::Run(std::function<void()> done) {
+  done_ = std::move(done);
+  client_->SetActiveConnections(options_.connections);
+  loop_->Schedule(options_.warmup, [this] {
+    measuring_ = true;
+    measure_start_ = loop_->now();
+    results_ = TpccResults{};
+  });
+  loop_->Schedule(options_.warmup + options_.duration, [this] {
+    measuring_ = false;
+    stopping_ = true;
+    results_.measured = loop_->now() - measure_start_;
+    MaybeFinish();
+  });
+  for (int i = 0; i < options_.connections; ++i) {
+    StartTxn(i);
+  }
+}
+
+void TpccDriver::MaybeFinish() {
+  if (stopping_ && in_flight_ == 0 && done_) {
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done();
+  }
+}
+
+void TpccDriver::StartTxn(int conn) {
+  if (stopping_) {
+    MaybeFinish();
+    return;
+  }
+  ++in_flight_;
+  uint64_t pick = connections_[conn]->rng.Uniform(100);
+  if (pick < 45) {
+    NewOrder(conn);
+  } else if (pick < 88) {
+    Payment(conn);
+  } else {
+    ReadOnlyTxn(conn);
+  }
+}
+
+void TpccDriver::TxnDone(int conn, bool committed, bool is_new_order,
+                         SimTime started) {
+  if (measuring_) {
+    if (!committed) {
+      ++results_.aborts;
+    } else if (is_new_order) {
+      ++results_.new_orders;
+      results_.new_order_latency_us.Record(loop_->now() - started);
+    }
+  }
+  --in_flight_;
+  StartTxn(conn);
+}
+
+void TpccDriver::NewOrder(int conn) {
+  Connection* c = connections_[conn].get();
+  const int w = 1 + static_cast<int>(c->rng.Uniform(options_.warehouses));
+  const int d = static_cast<int>(c->rng.Uniform(10));
+  const SimTime started = loop_->now();
+  TxnId txn = client_->Begin();
+
+  // 1. Read the warehouse row (tax rate).
+  client_->Get(txn, tables_.warehouse, WarehouseKey(w),
+               [this, conn, txn, w, d, started](Result<std::string> r) {
+    if (!r.ok()) {
+      TxnDone(conn, false, true, started);
+      return;
+    }
+    // 2. Update the district's next-order id — THE hot row.
+    uint64_t order_id = next_order_id_++;
+    client_->Put(txn, tables_.district, DistrictKey(w, d),
+                 "next_o=" + std::to_string(order_id),
+                 [this, conn, txn, w, d, order_id, started](Status s) {
+      if (!s.ok()) {
+        TxnDone(conn, false, true, started);
+        return;
+      }
+      // 3. Insert the order row, then update `items_per_order` stock rows.
+      client_->Put(txn, tables_.orders, OrderKey(w, d, order_id),
+                   "lines=" + std::to_string(options_.items_per_order),
+                   [this, conn, txn, w, started](Status os) {
+        if (!os.ok()) {
+          TxnDone(conn, false, true, started);
+          return;
+        }
+        auto line = std::make_shared<std::function<void(int)>>();
+        *line = [this, conn, txn, w, started, line](int remaining) {
+          if (remaining == 0) {
+            client_->Commit(txn, [this, conn, started](Status cs) {
+              TxnDone(conn, cs.ok(), true, started);
+            });
+            return;
+          }
+          Connection* c = connections_[conn].get();
+          int item = static_cast<int>(c->rng.Uniform(options_.stock_items));
+          // 1% of items come from a remote warehouse (spec behaviour).
+          int supply_w = w;
+          if (c->rng.Bernoulli(0.01)) {
+            supply_w = 1 + static_cast<int>(
+                               c->rng.Uniform(options_.warehouses));
+          }
+          client_->Put(txn, tables_.stock, StockKey(supply_w, item),
+                       "qty=" + std::to_string(c->rng.Uniform(90) + 1),
+                       [this, conn, started, line, remaining](Status ss) {
+            if (!ss.ok()) {
+              TxnDone(conn, false, true, started);
+              return;
+            }
+            (*line)(remaining - 1);
+          });
+        };
+        (*line)(options_.items_per_order);
+      });
+    });
+  });
+}
+
+void TpccDriver::Payment(int conn) {
+  Connection* c = connections_[conn].get();
+  const int w = 1 + static_cast<int>(c->rng.Uniform(options_.warehouses));
+  const int d = static_cast<int>(c->rng.Uniform(10));
+  const int cust =
+      static_cast<int>(c->rng.Uniform(options_.customers_per_district));
+  const SimTime started = loop_->now();
+  TxnId txn = client_->Begin();
+  // Warehouse YTD — the hottest row in TPC-C.
+  client_->Put(txn, tables_.warehouse, WarehouseKey(w), "ytd+",
+               [this, conn, txn, w, d, cust, started](Status s) {
+    if (!s.ok()) {
+      TxnDone(conn, false, false, started);
+      return;
+    }
+    client_->Put(txn, tables_.district, DistrictKey(w, d), "ytd+",
+                 [this, conn, txn, w, d, cust, started](Status ds) {
+      if (!ds.ok()) {
+        TxnDone(conn, false, false, started);
+        return;
+      }
+      client_->Put(txn, tables_.customer, CustomerKey(w, d, cust),
+                   "balance-", [this, conn, txn, started](Status ps) {
+        if (!ps.ok()) {
+          TxnDone(conn, false, false, started);
+          return;
+        }
+        client_->Commit(txn, [this, conn, started](Status cs) {
+          if (measuring_ && cs.ok()) ++results_.payments;
+          TxnDone(conn, cs.ok(), false, started);
+        });
+      });
+    });
+  });
+}
+
+void TpccDriver::ReadOnlyTxn(int conn) {
+  Connection* c = connections_[conn].get();
+  const int w = 1 + static_cast<int>(c->rng.Uniform(options_.warehouses));
+  const int d = static_cast<int>(c->rng.Uniform(10));
+  const int cust =
+      static_cast<int>(c->rng.Uniform(options_.customers_per_district));
+  const SimTime started = loop_->now();
+  TxnId txn = client_->Begin();
+  // OrderStatus / StockLevel flavour: a few point reads.
+  client_->Get(txn, tables_.customer, CustomerKey(w, d, cust),
+               [this, conn, txn, w, started](Result<std::string> r) {
+    (void)r;
+    Connection* c = connections_[conn].get();
+    int item = static_cast<int>(c->rng.Uniform(options_.stock_items));
+    client_->Get(txn, tables_.stock, StockKey(w, item),
+                 [this, conn, txn, started](Result<std::string> r2) {
+      (void)r2;
+      client_->Commit(txn, [this, conn, started](Status cs) {
+        if (measuring_ && cs.ok()) ++results_.other;
+        TxnDone(conn, cs.ok(), false, started);
+      });
+    });
+  });
+}
+
+}  // namespace aurora

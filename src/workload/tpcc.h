@@ -1,0 +1,119 @@
+#ifndef AURORA_WORKLOAD_TPCC_H_
+#define AURORA_WORKLOAD_TPCC_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "harness/client_api.h"
+#include "sim/event_loop.h"
+
+namespace aurora {
+
+/// TPC-C-style driver in the spirit of the Percona tpcc-mysql variant used
+/// for Table 5. The defining property the paper leans on is hot-row
+/// contention: every NewOrder serializes on its district's next-order-id
+/// row, every Payment updates its warehouse's YTD row — with thousands of
+/// connections over a few hundred warehouses, lock waits dominate.
+///
+/// Transaction mix (weights follow the TPC-C spec):
+///   NewOrder 45%  — read warehouse, update district (hot), ~10 stock
+///                   updates, order + order-line inserts
+///   Payment  43%  — update warehouse (hottest), district, customer
+///   OrderStatus 4%, Delivery 4%, StockLevel 4% — read-mostly
+/// tpmC counts committed NewOrders per minute.
+struct TpccOptions {
+  int warehouses = 100;
+  int connections = 500;
+  int items_per_order = 10;
+  int customers_per_district = 30;  // scaled from TPC-C's 3000
+  int stock_items = 1000;           // scaled from 100000 (per warehouse)
+  SimDuration duration = Seconds(10);
+  SimDuration warmup = Seconds(1);
+  uint64_t seed = 1;
+};
+
+struct TpccResults {
+  uint64_t new_orders = 0;
+  uint64_t payments = 0;
+  uint64_t other = 0;
+  uint64_t aborts = 0;
+  SimDuration measured = 0;
+  Histogram new_order_latency_us;
+
+  /// Committed NewOrder transactions per minute.
+  double tpmC() const {
+    return measured
+               ? static_cast<double>(new_orders) / ToSeconds(measured) * 60.0
+               : 0;
+  }
+};
+
+/// Table anchors the driver operates on. Create with SetupTables (real,
+/// populated via the write path) or attach synthetic ones for the big
+/// read-mostly tables.
+struct TpccTables {
+  PageId warehouse = kInvalidPage;
+  PageId district = kInvalidPage;
+  PageId customer = kInvalidPage;
+  PageId stock = kInvalidPage;
+  PageId orders = kInvalidPage;
+};
+
+class TpccDriver {
+ public:
+  TpccDriver(sim::EventLoop* loop, ClientApi* client, TpccTables tables,
+             TpccOptions options);
+
+  TpccDriver(const TpccDriver&) = delete;
+  TpccDriver& operator=(const TpccDriver&) = delete;
+
+  /// Populates warehouse/district/customer/stock rows through the write
+  /// path (orders starts empty); `done` fires when the load is durable.
+  void Load(std::function<void(Status)> done);
+
+  /// Runs the mix for warmup + duration; `done` fires once drained.
+  void Run(std::function<void()> done);
+
+  const TpccResults& results() const { return results_; }
+
+  // Key helpers (shared with benches/tests).
+  static std::string WarehouseKey(int w);
+  static std::string DistrictKey(int w, int d);
+  static std::string CustomerKey(int w, int d, int c);
+  static std::string StockKey(int w, int i);
+  static std::string OrderKey(int w, int d, uint64_t o);
+
+ private:
+  struct Connection {
+    Random rng;
+    explicit Connection(uint64_t seed) : rng(seed) {}
+  };
+
+  void StartTxn(int conn);
+  void NewOrder(int conn);
+  void Payment(int conn);
+  void ReadOnlyTxn(int conn);
+  void TxnDone(int conn, bool committed, bool is_new_order, SimTime started);
+  void Fail(int conn, TxnId txn);
+  void MaybeFinish();
+
+  sim::EventLoop* loop_;
+  ClientApi* client_;
+  TpccTables tables_;
+  TpccOptions options_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  TpccResults results_;
+  uint64_t next_order_id_ = 1;  // client-side order-id spreader
+  bool measuring_ = false;
+  bool stopping_ = false;
+  int in_flight_ = 0;
+  SimTime measure_start_ = 0;
+  std::function<void()> done_;
+};
+
+}  // namespace aurora
+
+#endif  // AURORA_WORKLOAD_TPCC_H_

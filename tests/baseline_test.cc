@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/mysql_cluster.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing::Key;
+
+MysqlClusterOptions SmallMysql() {
+  MysqlClusterOptions o;
+  o.mysql.engine.page_size = 4096;
+  o.mysql.engine.buffer_pool_pages = 1024;
+  o.mysql.checkpoint_interval = Millis(500);
+  return o;
+}
+
+class MysqlBaselineTest : public ::testing::Test {
+ protected:
+  MysqlBaselineTest() : cluster_(SmallMysql()) {
+    EXPECT_TRUE(cluster_.BootstrapSync().ok());
+    EXPECT_TRUE(cluster_.CreateTableSync("t").ok());
+    table_ = *cluster_.TableAnchorSync("t");
+  }
+
+  MysqlCluster cluster_;
+  PageId table_ = kInvalidPage;
+};
+
+TEST_F(MysqlBaselineTest, PutGetRoundTrip) {
+  ASSERT_TRUE(cluster_.PutSync(table_, "hello", "world").ok());
+  auto got = cluster_.GetSync(table_, "hello");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, "world");
+  EXPECT_TRUE(cluster_.GetSync(table_, "nope").status().IsNotFound());
+}
+
+TEST_F(MysqlBaselineTest, ManyWritesReadBack) {
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(cluster_.PutSync(table_, Key(i), "v" + std::to_string(i)).ok())
+        << i;
+  }
+  for (int i = 0; i < 200; ++i) {
+    auto got = cluster_.GetSync(table_, Key(i));
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(MysqlBaselineTest, CommitForcesWalThroughBothMirrors) {
+  uint64_t flushes_before = cluster_.db()->stats().wal_flushes;
+  ASSERT_TRUE(cluster_.PutSync(table_, "k", "v").ok());
+  EXPECT_GT(cluster_.db()->stats().wal_flushes, flushes_before);
+  EXPECT_GT(cluster_.db()->stats().binlog_writes, 0u);
+}
+
+TEST_F(MysqlBaselineTest, CheckpointWritesPagesAndDoubleWrite) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cluster_.PutSync(table_, Key(i), "v").ok());
+  }
+  cluster_.RunFor(Seconds(5));
+  EXPECT_GT(cluster_.db()->stats().checkpoints, 0u);
+  EXPECT_GT(cluster_.db()->stats().page_writes, 0u);
+  EXPECT_GT(cluster_.db()->stats().dwb_writes, 0u);
+  // Checkpoint advanced past the bootstrap position.
+  EXPECT_GT(cluster_.db()->checkpoint_lsn(), 0u);
+}
+
+TEST_F(MysqlBaselineTest, BinlogArchivedToS3) {
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster_.PutSync(table_, Key(i), "v").ok());
+  }
+  cluster_.RunFor(Seconds(1));
+  EXPECT_GT(cluster_.s3()->num_objects(), 0u);
+}
+
+TEST_F(MysqlBaselineTest, RollbackRestoresValue) {
+  ASSERT_TRUE(cluster_.PutSync(table_, "a", "original").ok());
+  TxnId txn = cluster_.db()->Begin();
+  bool done = false;
+  cluster_.db()->Put(txn, table_, "a", "changed", [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    cluster_.db()->Rollback(txn, [&](Status rs) {
+      EXPECT_TRUE(rs.ok());
+      done = true;
+    });
+  });
+  cluster_.RunUntil([&] { return done; }, Seconds(30));
+  EXPECT_EQ(*cluster_.GetSync(table_, "a"), "original");
+}
+
+TEST_F(MysqlBaselineTest, RecoveryReplaysWalFromCheckpoint) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cluster_.PutSync(table_, Key(i), "v" + std::to_string(i)).ok());
+  }
+  cluster_.db()->Crash();
+  ASSERT_TRUE(cluster_.RecoverSync().ok());
+  for (int i = 0; i < 100; ++i) {
+    auto got = cluster_.GetSync(table_, Key(i));
+    ASSERT_TRUE(got.ok()) << i << ": " << got.status().ToString();
+    EXPECT_EQ(*got, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(MysqlBaselineTest, RecoveryTimeGrowsWithLogSinceCheckpoint) {
+  // Disable checkpointing-by-shortening: use a long interval so the log
+  // accumulates.
+  MysqlClusterOptions o = SmallMysql();
+  o.mysql.checkpoint_interval = Minutes(60);
+
+  auto run = [&](int writes) -> SimDuration {
+    MysqlCluster c(o);
+    EXPECT_TRUE(c.BootstrapSync().ok());
+    EXPECT_TRUE(c.CreateTableSync("t").ok());
+    PageId table = *c.TableAnchorSync("t");
+    for (int i = 0; i < writes; ++i) {
+      EXPECT_TRUE(c.PutSync(table, Key(i % 64), Key(i)).ok());
+    }
+    c.db()->Crash();
+    SimTime before = c.loop()->now();
+    EXPECT_TRUE(c.RecoverSync().ok());
+    return c.loop()->now() - before;
+  };
+  SimDuration short_log = run(50);
+  SimDuration long_log = run(500);
+  EXPECT_GT(long_log, short_log * 3);
+}
+
+TEST_F(MysqlBaselineTest, BinlogReplicaAppliesAndLags) {
+  MysqlClusterOptions o = SmallMysql();
+  o.num_binlog_replicas = 1;
+  MysqlCluster c(o);
+  ASSERT_TRUE(c.BootstrapSync().ok());
+  ASSERT_TRUE(c.CreateTableSync("t").ok());
+  PageId table = *c.TableAnchorSync("t");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(c.PutSync(table, Key(i), "v" + std::to_string(i)).ok());
+  }
+  c.RunFor(Seconds(2));
+  baseline::BinlogReplica* replica = c.binlog_replica(0);
+  EXPECT_EQ(replica->stats().txns_applied, 50u);
+  std::string v;
+  ASSERT_TRUE(replica->Lookup(table, Key(7), &v));
+  EXPECT_EQ(v, "v7");
+  EXPECT_GT(replica->stats().lag_us.count(), 0u);
+}
+
+TEST_F(MysqlBaselineTest, DirtyEvictionStallsWhenPoolSaturated) {
+  MysqlClusterOptions o = SmallMysql();
+  o.mysql.engine.buffer_pool_pages = 8;
+  o.mysql.checkpoint_interval = Minutes(60);  // nothing cleans pages
+  MysqlCluster c(o);
+  ASSERT_TRUE(c.BootstrapSync().ok());
+  ASSERT_TRUE(c.CreateTableSync("t").ok());
+  PageId table = *c.TableAnchorSync("t");
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(c.PutSync(table, Key(i), std::string(256, 'x')).ok()) << i;
+  }
+  EXPECT_GT(c.db()->stats().dirty_evict_stalls, 0u);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "harness/cluster.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing::Key;
+
+// Property: under randomized chaos — background node crashes, an AZ outage,
+// message loss, a slow node, plus a writer crash — every acknowledged
+// commit remains readable afterwards, and the storage fleet converges.
+// This is the paper's durability contract ("data, once written, can be
+// read", §2) executed end-to-end, parameterized over seeds.
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(1, 7, 42, 1337, 20260707));
+
+TEST_P(ChaosTest, AckedCommitsSurviveEverything) {
+  ClusterOptions o;
+  o.seed = GetParam();
+  o.engine.page_size = 4096;
+  o.engine.pages_per_pg = 64;
+  o.engine.buffer_pool_pages = 2048;
+  o.storage_nodes_per_az = 4;
+  o.repair.detection_threshold = Seconds(2);
+  AuroraCluster cluster(o);
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+
+  Random rng(GetParam() * 31 + 1);
+  // Chaos environment: lossy network + background crash noise.
+  cluster.network()->set_drop_probability(0.005);
+  cluster.failure_injector()->EnableBackgroundNoise(Minutes(2), Seconds(1));
+
+  std::map<std::string, std::string> acked;
+  int attempts = 0;
+  for (int round = 0; round < 6; ++round) {
+    // One targeted disruption per round.
+    switch (round % 3) {
+      case 0:
+        cluster.failure_injector()->FailAz(
+            static_cast<sim::AzId>(rng.Uniform(3)), Seconds(2));
+        break;
+      case 1: {
+        sim::NodeId victim =
+            cluster.storage_node(rng.Uniform(cluster.num_storage_nodes()))
+                ->id();
+        cluster.failure_injector()->SlowNode(victim, 50.0, Seconds(2));
+        break;
+      }
+      case 2: {
+        sim::NodeId victim =
+            cluster.storage_node(rng.Uniform(cluster.num_storage_nodes()))
+                ->id();
+        cluster.failure_injector()->CrashNode(victim, Seconds(3));
+        break;
+      }
+    }
+    for (int i = 0; i < 25; ++i) {
+      std::string key = Key(rng.Uniform(200));
+      std::string value = "r" + std::to_string(round) + "-" +
+                          std::to_string(i);
+      ++attempts;
+      if (cluster.PutSync(table, key, value).ok()) {
+        acked[key] = value;
+      }
+    }
+    cluster.RunFor(Millis(500));
+  }
+  cluster.failure_injector()->DisableBackgroundNoise();
+  cluster.network()->set_drop_probability(0.0);
+
+  // The vast majority of writes must have committed despite the chaos
+  // (quorum absorbs everything we threw).
+  EXPECT_GT(static_cast<int>(acked.size()), attempts / 4);
+
+  // Writer crash + recovery on top of it all.
+  cluster.CrashWriter();
+  ASSERT_TRUE(cluster.RecoverSync().ok());
+  cluster.RunFor(Seconds(5));  // gossip/repair convergence
+
+  for (const auto& [key, value] : acked) {
+    auto got = cluster.GetSync(table, key);
+    ASSERT_TRUE(got.ok()) << "seed " << GetParam() << " lost " << key << ": "
+                          << got.status().ToString();
+    EXPECT_EQ(*got, value) << "seed " << GetParam() << " key " << key;
+  }
+}
+
+// Property: repeated crash/recover cycles interleaved with writes never
+// lose an acked commit and never resurrect a rolled-back one.
+class CrashLoopTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashLoopTest, ::testing::Values(3, 99, 777));
+
+TEST_P(CrashLoopTest, AckedSurvivesUnackedRollsBack) {
+  ClusterOptions o;
+  o.seed = GetParam();
+  o.engine.page_size = 4096;
+  o.engine.pages_per_pg = 64;
+  o.storage_nodes_per_az = 3;
+  AuroraCluster cluster(o);
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+
+  Random rng(GetParam());
+  std::map<std::string, std::string> acked;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      std::string key = Key(rng.Uniform(60));
+      std::string value = std::to_string(round * 100 + i);
+      if (cluster.PutSync(table, key, value).ok()) acked[key] = value;
+    }
+    // Leave one transaction in flight (statement done, commit never
+    // requested), then crash: it must be rolled back by recovery.
+    TxnId orphan = cluster.writer()->Begin();
+    std::string orphan_key = "orphan-" + std::to_string(round);
+    bool put_done = false;
+    cluster.writer()->Put(orphan, table, orphan_key, "ghost",
+                          [&](Status s) {
+                            EXPECT_TRUE(s.ok());
+                            put_done = true;
+                          });
+    cluster.RunUntil([&] { return put_done; }, Seconds(10));
+    cluster.RunFor(Millis(100));
+
+    cluster.CrashWriter();
+    bool undo_done = false;
+    cluster.writer()->set_undo_complete_callback([&] { undo_done = true; });
+    ASSERT_TRUE(cluster.RecoverSync().ok()) << "round " << round;
+    ASSERT_TRUE(cluster.RunUntil([&] { return undo_done; }, Minutes(1)));
+    EXPECT_TRUE(
+        cluster.GetSync(table, orphan_key).status().IsNotFound())
+        << "round " << round;
+  }
+  for (const auto& [key, value] : acked) {
+    auto got = cluster.GetSync(table, key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, value) << key;
+  }
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "harness/cluster.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing::Key;
+
+// System-level configuration sweep: the full write/read/crash-recover cycle
+// must hold across page sizes, protection-group sizes and valid quorum
+// schemes — the protocol invariants are configuration-independent.
+using SweepParam = std::tuple<size_t /*page size*/, uint64_t /*pages per pg*/,
+                              QuorumConfig>;
+
+class ConfigSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+// (A named generator: lambda bodies with commas break macro parsing.)
+std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
+  size_t page = std::get<0>(info.param);
+  uint64_t ppg = std::get<1>(info.param);
+  QuorumConfig q = std::get<2>(info.param);
+  return "p" + std::to_string(page) + "_s" + std::to_string(ppg) + "_q" +
+         std::to_string(q.write_quorum) + std::to_string(q.read_quorum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConfigSweepTest,
+    ::testing::Values(
+        SweepParam{1024, 32, QuorumConfig::Aurora()},
+        SweepParam{4096, 64, QuorumConfig::Aurora()},
+        SweepParam{16384, 16, QuorumConfig::Aurora()},
+        SweepParam{4096, 64, QuorumConfig{6, 6, 1}},   // all-replica writes
+        SweepParam{4096, 64, QuorumConfig{6, 5, 2}},   // wider writes
+        SweepParam{4096, 256, QuorumConfig::Aurora()}  // bigger segments
+        ),
+    SweepName);
+
+TEST_P(ConfigSweepTest, WriteReadCrashRecoverCycle) {
+  const auto& [page_size, pages_per_pg, quorum] = GetParam();
+  ASSERT_TRUE(quorum.Valid());
+  ClusterOptions o;
+  o.engine.page_size = page_size;
+  o.engine.pages_per_pg = pages_per_pg;
+  o.engine.quorum = quorum;
+  o.engine.buffer_pool_pages = 2048;
+  o.storage_nodes_per_az = 3;
+  AuroraCluster cluster(o);
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+
+  const int n = 120;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(cluster.PutSync(table, Key(i), "v" + std::to_string(i)).ok())
+        << i;
+  }
+  // Spot reads, crash, recover, full read-back.
+  EXPECT_EQ(*cluster.GetSync(table, Key(0)), "v0");
+  cluster.CrashWriter();
+  ASSERT_TRUE(cluster.RecoverSync().ok());
+  for (int i = 0; i < n; ++i) {
+    auto got = cluster.GetSync(table, Key(i));
+    ASSERT_TRUE(got.ok()) << i << ": " << got.status().ToString();
+    EXPECT_EQ(*got, "v" + std::to_string(i));
+  }
+  // And the quorum's stated write fault tolerance really holds.
+  int can_lose = quorum.write_fault_tolerance();
+  for (int k = 0; k < can_lose; ++k) {
+    cluster.failure_injector()->CrashNode(
+        cluster.control_plane()->membership(0).nodes[k], Minutes(5));
+  }
+  EXPECT_TRUE(cluster.PutSync(table, "after-faults", "ok").ok());
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/cluster.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing::Key;
+
+ClusterOptions FaultCluster() {
+  ClusterOptions o;
+  o.engine.page_size = 4096;
+  o.engine.pages_per_pg = 64;
+  o.engine.buffer_pool_pages = 1024;
+  o.storage_nodes_per_az = 4;
+  o.repair.detection_threshold = Seconds(2);
+  return o;
+}
+
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() : cluster_(FaultCluster()) {
+    EXPECT_TRUE(cluster_.BootstrapSync().ok());
+    EXPECT_TRUE(cluster_.CreateTableSync("t").ok());
+    table_ = *cluster_.TableAnchorSync("t");
+  }
+
+  /// Writes n rows; returns how many committed.
+  int WriteRows(int base, int n) {
+    int ok = 0;
+    for (int i = 0; i < n; ++i) {
+      if (cluster_.PutSync(table_, Key(base + i), "v").ok()) ++ok;
+    }
+    return ok;
+  }
+
+  AuroraCluster cluster_;
+  PageId table_ = kInvalidPage;
+};
+
+TEST_F(FaultTest, WritesSurviveOneStorageNodeDown) {
+  cluster_.failure_injector()->CrashNode(cluster_.storage_node(0)->id(),
+                                         Seconds(30));
+  EXPECT_EQ(WriteRows(0, 50), 50);
+}
+
+TEST_F(FaultTest, WritesSurviveEntireAzDown) {
+  // §2.1 design point (b): lose an entire AZ and keep writing (4/6 quorum
+  // needs only the four replicas in the two surviving AZs).
+  cluster_.failure_injector()->FailAz(1, Minutes(5));
+  EXPECT_EQ(WriteRows(0, 50), 50);
+}
+
+TEST_F(FaultTest, ReadsSurviveAzPlusOne) {
+  EXPECT_EQ(WriteRows(0, 50), 50);
+  cluster_.RunFor(Seconds(1));
+  // AZ+1: one AZ plus one more node. Writes may stall (only 3 replicas
+  // reachable for some PGs) but committed data must stay readable.
+  cluster_.failure_injector()->FailAz(1, Minutes(10));
+  const PgMembership& members = cluster_.control_plane()->membership(0);
+  // Crash one member outside AZ 1.
+  for (sim::NodeId node : members.nodes) {
+    if (cluster_.topology()->az_of(node) != 1) {
+      cluster_.failure_injector()->CrashNode(node, Minutes(10));
+      break;
+    }
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto got = cluster_.GetSync(table_, Key(i));
+    ASSERT_TRUE(got.ok()) << i << ": " << got.status().ToString();
+  }
+}
+
+TEST_F(FaultTest, GossipFillsGapsFromDroppedBatches) {
+  // With 1% message loss, some replicas miss batches; writer retries give
+  // quorum, and gossip must converge the stragglers.
+  cluster_.network()->set_drop_probability(0.01);
+  EXPECT_EQ(WriteRows(0, 100), 100);
+  cluster_.network()->set_drop_probability(0.0);
+  cluster_.RunFor(Seconds(5));
+  Lsn vdl = cluster_.writer()->vdl();
+  size_t num_pgs = cluster_.control_plane()->num_pgs();
+  for (PgId pg = 0; pg < num_pgs; ++pg) {
+    const PgMembership& members = cluster_.control_plane()->membership(pg);
+    for (sim::NodeId node : members.nodes) {
+      StorageNode* sn = cluster_.storage_node_by_id(node);
+      ASSERT_NE(sn, nullptr);
+      const Segment* seg = sn->segment(pg);
+      ASSERT_NE(seg, nullptr);
+      EXPECT_GE(seg->scl(), vdl) << "pg " << pg << " node " << node;
+    }
+  }
+}
+
+TEST_F(FaultTest, SlowStorageNodeDoesNotStallCommits) {
+  // §3.3: a slow node is absorbed by the 4/6 quorum; commit latency should
+  // stay bounded by the 4th-fastest replica, not the slowest.
+  const PgMembership& members = cluster_.control_plane()->membership(0);
+  cluster_.failure_injector()->SlowNode(members.nodes[0], 100.0, Minutes(10));
+  EXPECT_EQ(WriteRows(0, 30), 30);
+  EXPECT_LT(cluster_.writer()->stats().commit_latency_us.P95(),
+            Millis(50));
+}
+
+TEST_F(FaultTest, RepairReplacesPermanentlyDeadNode) {
+  EXPECT_EQ(WriteRows(0, 30), 30);
+  const PgMembership before = cluster_.control_plane()->membership(0);
+  sim::NodeId victim = before.nodes[2];
+  cluster_.failure_injector()->CrashNode(victim, 0);  // permanent
+  // Detection threshold (2s) + transfer; give it time.
+  ASSERT_TRUE(cluster_.RunUntil(
+      [&] {
+        return cluster_.repair_manager()->stats().repairs_completed >=
+               cluster_.control_plane()->ReplicasOnNode(victim).size() &&
+               cluster_.control_plane()->membership(0).IndexOf(victim) < 0;
+      },
+      Minutes(2)));
+  const PgMembership& after = cluster_.control_plane()->membership(0);
+  EXPECT_LT(after.IndexOf(victim), 0);
+  EXPECT_GT(after.config_epoch, before.config_epoch);
+  // The replacement converges via the copied state + gossip.
+  cluster_.RunFor(Seconds(5));
+  sim::NodeId replacement = after.nodes[2];
+  StorageNode* sn = cluster_.storage_node_by_id(replacement);
+  ASSERT_NE(sn, nullptr);
+  const Segment* seg = sn->segment(0);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_GE(seg->scl(), cluster_.writer()->vdl());
+  // And writes keep flowing afterwards.
+  EXPECT_EQ(WriteRows(100, 20), 20);
+}
+
+TEST_F(FaultTest, BriefOutageDoesNotTriggerRepair) {
+  // §2.3: a node that blips for less than the detection threshold (e.g. an
+  // OS patch) must not cause re-replication.
+  cluster_.failure_injector()->CrashNode(cluster_.storage_node(0)->id(),
+                                         Millis(500));
+  cluster_.RunFor(Seconds(10));
+  EXPECT_EQ(cluster_.repair_manager()->stats().repairs_completed, 0u);
+}
+
+TEST_F(FaultTest, HeatManagementMigratesReplica) {
+  EXPECT_EQ(WriteRows(0, 20), 20);
+  const PgMembership before = cluster_.control_plane()->membership(0);
+  cluster_.repair_manager()->MigrateReplica(0, 1);
+  ASSERT_TRUE(cluster_.RunUntil(
+      [&] {
+        return cluster_.control_plane()->membership(0).nodes[1] !=
+               before.nodes[1];
+      },
+      Minutes(1)));
+  EXPECT_EQ(WriteRows(50, 20), 20);
+}
+
+TEST_F(FaultTest, ScrubberDetectsAndHealsCorruptPage) {
+  EXPECT_EQ(WriteRows(0, 50), 50);
+  cluster_.RunFor(Seconds(3));  // allow materialization
+  // Corrupt a materialized base page on one replica.
+  const PgMembership& members = cluster_.control_plane()->membership(0);
+  StorageNode* sn = cluster_.storage_node_by_id(members.nodes[0]);
+  ASSERT_NE(sn, nullptr);
+  Segment* seg = sn->segment(0);
+  ASSERT_NE(seg, nullptr);
+  ASSERT_GT(seg->num_pages(), 0u);
+  seg->CorruptBasePageForTesting(0);
+  cluster_.RunFor(Minutes(2));  // scrub interval is 30s
+  EXPECT_GT(sn->stats().corrupt_pages_found, 0u);
+  EXPECT_GT(sn->stats().corrupt_pages_repaired, 0u);
+  EXPECT_TRUE(seg->corrupt_pages().empty());
+}
+
+TEST_F(FaultTest, BackgroundNoiseDoesNotLoseData) {
+  cluster_.failure_injector()->EnableBackgroundNoise(Minutes(5), Seconds(2));
+  int committed = WriteRows(0, 100);
+  cluster_.failure_injector()->DisableBackgroundNoise();
+  cluster_.RunFor(Seconds(5));
+  EXPECT_EQ(committed, 100);
+  for (int i = 0; i < 100; ++i) {
+    auto got = cluster_.GetSync(table_, Key(i));
+    ASSERT_TRUE(got.ok()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace aurora

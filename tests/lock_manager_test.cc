@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/lock_manager.h"
+#include "sim/event_loop.h"
+
+namespace aurora {
+namespace {
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManagerTest() : locks_(&loop_, Seconds(5)) {}
+
+  /// Convenience: request and record the grant status asynchronously.
+  Status Lock(TxnId txn, const std::string& key, LockMode mode,
+              Status* async_result = nullptr) {
+    return locks_.Lock(txn, 1, key, mode, [async_result](Status s) {
+      if (async_result != nullptr) *async_result = s;
+    });
+  }
+
+  sim::EventLoop loop_;
+  LockManager locks_;
+};
+
+TEST_F(LockManagerTest, SharedLocksCoexist) {
+  EXPECT_TRUE(Lock(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(Lock(2, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(Lock(3, "k", LockMode::kShared).ok());
+  EXPECT_EQ(locks_.ActiveLocks(), 1u);
+}
+
+TEST_F(LockManagerTest, ExclusiveExcludes) {
+  EXPECT_TRUE(Lock(1, "k", LockMode::kExclusive).ok());
+  Status granted = Status::NotFound("");
+  EXPECT_TRUE(Lock(2, "k", LockMode::kShared, &granted).IsBusy());
+  EXPECT_TRUE(granted.IsNotFound());  // not yet granted
+  locks_.ReleaseAll(1);
+  EXPECT_TRUE(granted.ok());  // granted on release
+}
+
+TEST_F(LockManagerTest, ReentrantAcquisition) {
+  EXPECT_TRUE(Lock(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(Lock(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(Lock(1, "k", LockMode::kExclusive).ok());  // sole-holder upgrade
+  EXPECT_TRUE(Lock(1, "k", LockMode::kShared).ok());     // X covers S
+}
+
+TEST_F(LockManagerTest, FifoFairnessPreventsWriterStarvation) {
+  EXPECT_TRUE(Lock(1, "k", LockMode::kShared).ok());
+  Status writer = Status::NotFound("");
+  EXPECT_TRUE(Lock(2, "k", LockMode::kExclusive, &writer).IsBusy());
+  // A later reader must NOT barge past the queued writer.
+  Status reader = Status::NotFound("");
+  EXPECT_TRUE(Lock(3, "k", LockMode::kShared, &reader).IsBusy());
+  locks_.ReleaseAll(1);
+  EXPECT_TRUE(writer.ok());
+  EXPECT_TRUE(reader.IsNotFound());  // still behind the writer
+  locks_.ReleaseAll(2);
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST_F(LockManagerTest, DeadlockDetectedOnCycle) {
+  EXPECT_TRUE(Lock(1, "a", LockMode::kExclusive).ok());
+  EXPECT_TRUE(Lock(2, "b", LockMode::kExclusive).ok());
+  // 1 waits for b (held by 2).
+  EXPECT_TRUE(Lock(1, "b", LockMode::kExclusive).IsBusy());
+  // 2 -> a would close the cycle: refused immediately.
+  EXPECT_TRUE(Lock(2, "a", LockMode::kExclusive).IsAborted());
+  EXPECT_EQ(locks_.stats().deadlocks, 1u);
+  // Victim rolls back; waiter proceeds.
+  Status waiter = Status::NotFound("");
+  locks_.ReleaseAll(2);
+  EXPECT_EQ(locks_.WaitingTxns(), 0u);
+}
+
+TEST_F(LockManagerTest, UpgradeDeadlockDetected) {
+  // Classic S->X upgrade collision.
+  EXPECT_TRUE(Lock(1, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(Lock(2, "k", LockMode::kShared).ok());
+  EXPECT_TRUE(Lock(1, "k", LockMode::kExclusive).IsBusy());  // waits on 2
+  EXPECT_TRUE(Lock(2, "k", LockMode::kExclusive).IsAborted());  // cycle
+}
+
+TEST_F(LockManagerTest, ThreeWayDeadlockDetected) {
+  EXPECT_TRUE(Lock(1, "a", LockMode::kExclusive).ok());
+  EXPECT_TRUE(Lock(2, "b", LockMode::kExclusive).ok());
+  EXPECT_TRUE(Lock(3, "c", LockMode::kExclusive).ok());
+  EXPECT_TRUE(Lock(1, "b", LockMode::kExclusive).IsBusy());
+  EXPECT_TRUE(Lock(2, "c", LockMode::kExclusive).IsBusy());
+  EXPECT_TRUE(Lock(3, "a", LockMode::kExclusive).IsAborted());
+}
+
+TEST_F(LockManagerTest, TimeoutFiresForStuckWaiter) {
+  EXPECT_TRUE(Lock(1, "k", LockMode::kExclusive).ok());
+  Status waiter = Status::NotFound("");
+  EXPECT_TRUE(Lock(2, "k", LockMode::kExclusive, &waiter).IsBusy());
+  loop_.RunFor(Seconds(6));
+  EXPECT_TRUE(waiter.IsTimedOut());
+  EXPECT_EQ(locks_.stats().timeouts, 1u);
+  // Lock table cleaned up; holder unaffected.
+  EXPECT_TRUE(Lock(1, "k", LockMode::kExclusive).ok());
+}
+
+TEST_F(LockManagerTest, ReleaseAllCancelsWaits) {
+  EXPECT_TRUE(Lock(1, "k", LockMode::kExclusive).ok());
+  Status waiter = Status::NotFound("");
+  EXPECT_TRUE(Lock(2, "k", LockMode::kExclusive, &waiter).IsBusy());
+  locks_.ReleaseAll(2);  // waiter gives up (rollback)
+  EXPECT_EQ(locks_.WaitingTxns(), 0u);
+  locks_.ReleaseAll(1);
+  EXPECT_TRUE(waiter.IsNotFound());  // callback never fired
+  EXPECT_EQ(locks_.ActiveLocks(), 0u);
+}
+
+TEST_F(LockManagerTest, ChainedGrantsCascade) {
+  EXPECT_TRUE(Lock(1, "k", LockMode::kExclusive).ok());
+  std::vector<Status> granted(3, Status::NotFound(""));
+  EXPECT_TRUE(Lock(2, "k", LockMode::kShared, &granted[0]).IsBusy());
+  EXPECT_TRUE(Lock(3, "k", LockMode::kShared, &granted[1]).IsBusy());
+  EXPECT_TRUE(Lock(4, "k", LockMode::kShared, &granted[2]).IsBusy());
+  locks_.ReleaseAll(1);
+  // All compatible queued readers granted in one cascade.
+  EXPECT_TRUE(granted[0].ok());
+  EXPECT_TRUE(granted[1].ok());
+  EXPECT_TRUE(granted[2].ok());
+}
+
+TEST_F(LockManagerTest, ResetDropsEverythingSilently) {
+  EXPECT_TRUE(Lock(1, "a", LockMode::kExclusive).ok());
+  Status waiter = Status::NotFound("");
+  EXPECT_TRUE(Lock(2, "a", LockMode::kExclusive, &waiter).IsBusy());
+  locks_.Reset();
+  EXPECT_EQ(locks_.ActiveLocks(), 0u);
+  EXPECT_EQ(locks_.WaitingTxns(), 0u);
+  loop_.Run();
+  EXPECT_TRUE(waiter.IsNotFound());  // no callback after reset
+}
+
+TEST_F(LockManagerTest, DifferentTreesAreIndependentNamespaces) {
+  EXPECT_TRUE(locks_.Lock(1, 1, "k", LockMode::kExclusive, nullptr).ok());
+  EXPECT_TRUE(locks_.Lock(2, 2, "k", LockMode::kExclusive, nullptr).ok());
+  EXPECT_EQ(locks_.ActiveLocks(), 2u);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "storage/sim_s3.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing::Key;
+
+// §2.3 "Operational Advantages of Resilience": OS/security patching is a
+// brief unavailability event per storage node, executed one AZ at a time,
+// never touching two members of a PG at once. The cluster must keep
+// serving reads and writes throughout.
+TEST(OpsTest, RollingOneAzAtATimePatchKeepsClusterAvailable) {
+  ClusterOptions o;
+  o.engine.page_size = 4096;
+  o.engine.pages_per_pg = 64;
+  o.storage_nodes_per_az = 3;
+  // Patches are brief (500 ms) — well under the repair detection
+  // threshold, so no re-replication churn.
+  o.repair.detection_threshold = Seconds(5);
+  AuroraCluster cluster(o);
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+
+  int committed = 0;
+  int attempted = 0;
+  for (sim::AzId az = 0; az < 3; ++az) {
+    // Patch every storage host in this AZ (brief reboot), staggered.
+    for (size_t i = 0; i < cluster.num_storage_nodes(); ++i) {
+      sim::NodeId node = cluster.storage_node(i)->id();
+      if (cluster.topology()->az_of(node) != az) continue;
+      cluster.failure_injector()->CrashNode(node, Millis(500));
+    }
+    // Traffic while the AZ's hosts reboot.
+    for (int i = 0; i < 20; ++i) {
+      ++attempted;
+      if (cluster.PutSync(table, Key(az * 100 + i), "v").ok()) ++committed;
+    }
+    cluster.RunFor(Seconds(1));  // AZ back before the next one starts
+  }
+  EXPECT_EQ(committed, attempted);
+  EXPECT_EQ(cluster.repair_manager()->stats().repairs_started, 0u);
+  // Everything written during the rolling patch is readable.
+  for (sim::AzId az = 0; az < 3; ++az) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(cluster.GetSync(table, Key(az * 100 + i)).ok());
+    }
+  }
+}
+
+TEST(SimS3Test, PutGetListSemantics) {
+  sim::EventLoop loop;
+  SimS3 s3(&loop, SimS3::Options{}, Random(1));
+  bool put_done = false;
+  s3.Put("a/1", "one", [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    put_done = true;
+  });
+  s3.Put("a/2", "two", [](Status) {});
+  s3.Put("b/1", "bee", [](Status) {});
+  loop.Run();
+  EXPECT_TRUE(put_done);
+  EXPECT_EQ(s3.num_objects(), 3u);
+  EXPECT_EQ(s3.bytes_stored(), 9u);
+
+  Result<std::string> got = Status::NotFound("");
+  s3.Get("a/2", [&](Result<std::string> r) { got = std::move(r); });
+  loop.Run();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "two");
+
+  auto keys = s3.ListKeys("a/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a/1");
+  EXPECT_TRUE(s3.ListKeys("zzz").empty());
+  EXPECT_TRUE(s3.GetSync("missing").status().IsNotFound());
+
+  // Overwrite adjusts accounting.
+  s3.Put("a/1", "longer-value", [](Status) {});
+  loop.Run();
+  EXPECT_EQ(s3.num_objects(), 3u);
+  EXPECT_EQ(s3.bytes_stored(), 3u + 3u + 12u);
+}
+
+TEST(SimS3Test, LatencyIsSimulated) {
+  sim::EventLoop loop;
+  SimS3::Options opts;
+  opts.put_latency = Millis(20);
+  opts.jitter_sigma = 0.0;
+  SimS3 s3(&loop, opts, Random(1));
+  SimTime done_at = 0;
+  s3.Put("k", "v", [&](Status) { done_at = loop.now(); });
+  loop.Run();
+  EXPECT_GE(done_at, Millis(20));
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "quorum/availability.h"
+#include "quorum/quorum.h"
+
+namespace aurora {
+namespace {
+
+TEST(QuorumConfigTest, AuroraSchemeIsValid) {
+  QuorumConfig q = QuorumConfig::Aurora();
+  EXPECT_EQ(q.votes, 6);
+  EXPECT_EQ(q.write_quorum, 4);
+  EXPECT_EQ(q.read_quorum, 3);
+  EXPECT_TRUE(q.Valid());
+  EXPECT_EQ(q.write_fault_tolerance(), 2);  // lose an AZ, keep writing
+  EXPECT_EQ(q.read_fault_tolerance(), 3);   // AZ+1, keep reading
+}
+
+TEST(QuorumConfigTest, TwoOfThreeIsValidButFragile) {
+  QuorumConfig q = QuorumConfig::TwoOfThree();
+  EXPECT_TRUE(q.Valid());
+  EXPECT_EQ(q.write_fault_tolerance(), 1);
+  EXPECT_EQ(q.read_fault_tolerance(), 1);
+}
+
+TEST(QuorumConfigTest, GiffordRulesRejectBadSchemes) {
+  // Vr + Vw <= V: reads can miss the latest write.
+  EXPECT_FALSE((QuorumConfig{6, 3, 3}.Valid()));
+  // 2*Vw <= V: two conflicting writes can both "succeed".
+  EXPECT_FALSE((QuorumConfig{6, 3, 4}.Valid()));
+  EXPECT_FALSE((QuorumConfig{0, 0, 0}.Valid()));
+  EXPECT_FALSE((QuorumConfig{6, 7, 3}.Valid()));
+  EXPECT_TRUE((QuorumConfig{6, 6, 1}.Valid()));
+  EXPECT_TRUE((QuorumConfig{3, 2, 2}.Valid()));
+}
+
+// Property sweep: every valid scheme guarantees read/write intersection.
+TEST(QuorumConfigTest, ValidSchemesAlwaysIntersect) {
+  for (int v = 1; v <= 9; ++v) {
+    for (int w = 1; w <= v; ++w) {
+      for (int r = 1; r <= v; ++r) {
+        QuorumConfig q{v, w, r};
+        if (!q.Valid()) continue;
+        // Worst case: the read picks the r nodes least overlapping the
+        // write's w nodes. Overlap = r + w - v must be >= 1.
+        EXPECT_GE(r + w - v, 1) << v << "/" << w << "/" << r;
+        EXPECT_GE(2 * w - v, 1);
+      }
+    }
+  }
+}
+
+TEST(WriteTrackerTest, AchievesAtExactlyWriteQuorum) {
+  WriteTracker t(QuorumConfig::Aurora());
+  EXPECT_FALSE(t.achieved());
+  EXPECT_FALSE(t.Ack(0));
+  EXPECT_FALSE(t.Ack(1));
+  EXPECT_FALSE(t.Ack(2));
+  EXPECT_TRUE(t.Ack(3));  // the 4th ack crosses the quorum
+  EXPECT_TRUE(t.achieved());
+  EXPECT_FALSE(t.Ack(4));  // further acks don't re-trigger
+  EXPECT_EQ(t.acks(), 5);
+}
+
+TEST(WriteTrackerTest, DuplicateAndInvalidAcksIgnored) {
+  WriteTracker t(QuorumConfig::Aurora());
+  EXPECT_FALSE(t.Ack(2));
+  EXPECT_FALSE(t.Ack(2));
+  EXPECT_FALSE(t.Ack(2));
+  EXPECT_FALSE(t.Ack(2));
+  EXPECT_EQ(t.acks(), 1);
+  EXPECT_FALSE(t.Ack(-1));
+  EXPECT_FALSE(t.Ack(6));
+  EXPECT_TRUE(t.has_ack_from(2));
+  EXPECT_FALSE(t.has_ack_from(0));
+}
+
+TEST(AvailabilityTest, RepairTimeMatchesPaperExample) {
+  // "A 10GB segment can be repaired in 10 seconds on a 10Gbps network".
+  double secs = AvailabilityModel::RepairSeconds(10ull << 30, 10e9);
+  EXPECT_NEAR(secs, 8.6, 1.5);  // 10 * 2^30 * 8 / 10e9
+}
+
+TEST(AvailabilityTest, AuroraSurvivesAzPlusNoiseFarBetterThanTwoOfThree) {
+  DurabilityParams params;
+  params.node_mttf_hours = 5000;
+  params.segment_mttr_seconds = 10;
+  AvailabilityModel aurora(QuorumConfig::Aurora(), params);
+  AvailabilityModel classic(QuorumConfig::TwoOfThree(), params);
+  double p_aurora = aurora.Analytic().az_plus_noise_loss_prob;
+  double p_classic = classic.Analytic().az_plus_noise_loss_prob;
+  // 2/3 with an AZ down has zero spare (certain loss on any noise... in
+  // fact losing one AZ of a 3-replica scheme leaves 2 = exactly the read
+  // quorum, so any concurrent failure kills it).
+  EXPECT_LT(p_aurora, p_classic / 100);
+}
+
+TEST(AvailabilityTest, ShorterMttrShrinksLossProbability) {
+  DurabilityParams fast, slow;
+  fast.segment_mttr_seconds = 10;        // 10GB segment, §2.2
+  slow.segment_mttr_seconds = 10 * 360;  // monolithic 3.6TB volume repair
+  AvailabilityModel m_fast(QuorumConfig::Aurora(), fast);
+  AvailabilityModel m_slow(QuorumConfig::Aurora(), slow);
+  EXPECT_LT(m_fast.Analytic().pg_quorum_loss_prob,
+            m_slow.Analytic().pg_quorum_loss_prob);
+}
+
+TEST(AvailabilityTest, MonteCarloAgreesOnOrdering) {
+  DurabilityParams params;
+  params.node_mttf_hours = 200;  // exaggerated failure rate for signal
+  params.segment_mttr_seconds = 3600;
+  params.horizon_hours = 24 * 30;
+  Random rng(7);
+  AvailabilityModel aurora(QuorumConfig::Aurora(), params);
+  AvailabilityModel classic(QuorumConfig::TwoOfThree(), params);
+  double p_aurora = aurora.MonteCarloLossProb(4000, 1.0 / 100, &rng);
+  double p_classic = classic.MonteCarloLossProb(4000, 1.0 / 100, &rng);
+  EXPECT_LE(p_aurora, p_classic);
+}
+
+}  // namespace
+}  // namespace aurora

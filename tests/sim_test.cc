@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "sim/disk.h"
+#include "sim/event_loop.h"
+#include "sim/failure_injector.h"
+#include "sim/instance.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace aurora::sim {
+namespace {
+
+TEST(EventLoopTest, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(30, [&] { order.push_back(3); });
+  loop.Schedule(10, [&] { order.push_back(1); });
+  loop.Schedule(20, [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30u);
+}
+
+TEST(EventLoopTest, FifoAtSameTime) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.Schedule(10, [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, NestedScheduling) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(5, [&] {
+    loop.Schedule(5, [&] {
+      ++fired;
+      EXPECT_EQ(loop.now(), 10u);
+    });
+  });
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  int fired = 0;
+  EventId id = loop.Schedule(10, [&] { ++fired; });
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));
+  loop.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockExactly) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(100, [&] { ++fired; });
+  loop.Schedule(200, [&] { ++fired; });
+  loop.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 150u);
+  loop.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, PastTimeClampsToNow) {
+  EventLoop loop;
+  loop.Schedule(50, [] {});
+  loop.Run();
+  int fired = 0;
+  loop.ScheduleAt(10, [&] { ++fired; });  // in the past
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 50u);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : topo_(3), net_(&loop_, &topo_, FabricOptions{}, Random(1)) {
+    a_ = topo_.AddNode(0, "a");
+    b_ = topo_.AddNode(0, "b");
+    c_ = topo_.AddNode(1, "c");
+    net_.Register(a_, [this](const Message& m) { at_a_.push_back(m); });
+    net_.Register(b_, [this](const Message& m) { at_b_.push_back(m); });
+    net_.Register(c_, [this](const Message& m) { at_c_.push_back(m); });
+  }
+
+  EventLoop loop_;
+  Topology topo_;
+  Network net_;
+  NodeId a_, b_, c_;
+  std::vector<Message> at_a_, at_b_, at_c_;
+};
+
+TEST_F(NetworkTest, DeliversMessages) {
+  net_.Send(a_, b_, 7, "ping");
+  loop_.Run();
+  ASSERT_EQ(at_b_.size(), 1u);
+  EXPECT_EQ(at_b_[0].payload, "ping");
+  EXPECT_EQ(at_b_[0].type, 7);
+  EXPECT_EQ(at_b_[0].from, a_);
+}
+
+TEST_F(NetworkTest, CrossAzSlowerThanIntraAz) {
+  SimTime t0 = loop_.now();
+  SimTime intra_done = 0, cross_done = 0;
+  net_.Register(b_, [&](const Message&) { intra_done = loop_.now(); });
+  net_.Register(c_, [&](const Message&) { cross_done = loop_.now(); });
+  // Average over repeated sends to wash out jitter.
+  for (int i = 0; i < 50; ++i) {
+    net_.Send(a_, b_, 0, "x");
+    net_.Send(a_, c_, 0, "x");
+  }
+  loop_.Run();
+  EXPECT_GT(cross_done, t0);
+  EXPECT_GT(cross_done, intra_done);
+}
+
+TEST_F(NetworkTest, DownNodeDropsTraffic) {
+  net_.SetNodeDown(b_, true);
+  net_.Send(a_, b_, 0, "lost");
+  loop_.Run();
+  EXPECT_TRUE(at_b_.empty());
+  EXPECT_EQ(net_.stats_of(a_).messages_dropped, 1u);
+  net_.SetNodeDown(b_, false);
+  net_.Send(a_, b_, 0, "found");
+  loop_.Run();
+  EXPECT_EQ(at_b_.size(), 1u);
+}
+
+TEST_F(NetworkTest, CrashWhileInFlightLosesMessage) {
+  net_.Send(a_, b_, 0, "in-flight");
+  net_.SetNodeDown(b_, true);  // before delivery event fires
+  loop_.Run();
+  EXPECT_TRUE(at_b_.empty());
+}
+
+TEST_F(NetworkTest, AzDownDropsAllNodesInIt) {
+  net_.SetAzDown(1, true);
+  net_.Send(a_, c_, 0, "x");
+  loop_.Run();
+  EXPECT_TRUE(at_c_.empty());
+}
+
+TEST_F(NetworkTest, PartitionBlocksBothDirections) {
+  net_.SetPartitioned(a_, b_, true);
+  net_.Send(a_, b_, 0, "x");
+  net_.Send(b_, a_, 0, "y");
+  net_.Send(a_, c_, 0, "z");  // unaffected
+  loop_.Run();
+  EXPECT_TRUE(at_b_.empty());
+  EXPECT_TRUE(at_a_.empty());
+  EXPECT_EQ(at_c_.size(), 1u);
+}
+
+TEST_F(NetworkTest, CountsPacketsAtMtuGranularity) {
+  FabricOptions opts;
+  std::string big(static_cast<size_t>(opts.mtu_bytes) * 3 + 1, 'x');
+  net_.Send(a_, b_, 0, big);
+  loop_.Run();
+  EXPECT_EQ(net_.stats_of(a_).packets_sent, 4u);
+  EXPECT_EQ(net_.stats_of(a_).bytes_sent, big.size());
+}
+
+TEST_F(NetworkTest, TotalAggregatesAndResets) {
+  net_.Send(a_, b_, 0, "x");
+  net_.Send(b_, c_, 0, "y");
+  loop_.Run();
+  EXPECT_EQ(net_.total().messages_sent, 2u);
+  EXPECT_EQ(net_.total().messages_received, 2u);
+  net_.ResetStats();
+  EXPECT_EQ(net_.total().messages_sent, 0u);
+}
+
+TEST(DiskTest, CompletesWritesWithLatency) {
+  EventLoop loop;
+  Disk disk(&loop, DiskOptions{}, Random(1));
+  bool done = false;
+  disk.Write(4096, [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    done = true;
+  });
+  loop.Run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(loop.now(), 0u);
+  EXPECT_EQ(disk.writes(), 1u);
+  EXPECT_EQ(disk.bytes_written(), 4096u);
+}
+
+TEST(DiskTest, IopsLimitQueuesWork) {
+  EventLoop loop;
+  DiskOptions opts;
+  opts.max_iops = 1000;  // 1ms service time per op
+  opts.write_latency = Micros(10);
+  opts.jitter_sigma = 0.0;
+  Disk disk(&loop, opts, Random(1));
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    disk.Write(128, [&](Status) { ++completed; });
+  }
+  loop.Run();
+  EXPECT_EQ(completed, 100);
+  // 100 ops at 1ms service each must take at least ~100ms.
+  EXPECT_GE(loop.now(), Millis(99));
+}
+
+TEST(DiskTest, FailedDiskReturnsIOError) {
+  EventLoop loop;
+  Disk disk(&loop, DiskOptions{}, Random(1));
+  disk.Fail();
+  Status got;
+  disk.Write(100, [&](Status s) { got = s; });
+  loop.Run();
+  EXPECT_TRUE(got.IsIOError());
+}
+
+TEST(DiskTest, SlowdownIncreasesLatency) {
+  EventLoop l1, l2;
+  DiskOptions opts;
+  opts.jitter_sigma = 0.0;
+  Disk fast(&l1, opts, Random(1));
+  Disk slow(&l2, opts, Random(1));
+  slow.set_slowdown(10.0);
+  fast.Write(4096, [](Status) {});
+  slow.Write(4096, [](Status) {});
+  l1.Run();
+  l2.Run();
+  EXPECT_GT(l2.now(), l1.now() * 5);
+}
+
+TEST(InstanceTest, ParallelismScalesWithVcpus) {
+  // 64 tasks of 1ms each: 2 vCPUs -> ~32ms, 8 vCPUs -> ~8ms.
+  auto run = [](int vcpus) {
+    EventLoop loop;
+    InstanceOptions o;
+    o.vcpus = vcpus;
+    Instance inst(&loop, o);
+    for (int i = 0; i < 64; ++i) inst.Execute(Millis(1), [] {});
+    loop.Run();
+    return loop.now();
+  };
+  SimTime t2 = run(2);
+  SimTime t8 = run(8);
+  EXPECT_EQ(t2, Millis(32));
+  EXPECT_EQ(t8, Millis(8));
+}
+
+TEST(InstanceTest, R3FamilyDoublesVcpus) {
+  EXPECT_EQ(R3Large().vcpus, 2);
+  EXPECT_EQ(R3XLarge().vcpus, 4);
+  EXPECT_EQ(R32XLarge().vcpus, 8);
+  EXPECT_EQ(R34XLarge().vcpus, 16);
+  EXPECT_EQ(R38XLarge().vcpus, 32);
+}
+
+class FailureInjectorTest : public ::testing::Test {
+ protected:
+  FailureInjectorTest()
+      : topo_(3),
+        net_(&loop_, &topo_, FabricOptions{}, Random(2)),
+        inj_(&loop_, &net_, &topo_, Random(3)) {
+    for (int i = 0; i < 6; ++i) {
+      NodeId n = topo_.AddNode(static_cast<AzId>(i / 2));
+      nodes_.push_back(n);
+      inj_.RegisterNode(n, {[this, n] { crashed_.push_back(n); },
+                            [this, n] { restarted_.push_back(n); }});
+    }
+  }
+
+  EventLoop loop_;
+  Topology topo_;
+  Network net_;
+  FailureInjector inj_;
+  std::vector<NodeId> nodes_;
+  std::vector<NodeId> crashed_, restarted_;
+};
+
+TEST_F(FailureInjectorTest, CrashAndRestart) {
+  inj_.CrashNode(nodes_[0], Seconds(5));
+  EXPECT_TRUE(inj_.IsDown(nodes_[0]));
+  EXPECT_EQ(crashed_.size(), 1u);
+  loop_.Run();
+  EXPECT_FALSE(inj_.IsDown(nodes_[0]));
+  EXPECT_EQ(restarted_.size(), 1u);
+  EXPECT_GE(loop_.now(), Seconds(5));
+}
+
+TEST_F(FailureInjectorTest, DoubleCrashIsIdempotent) {
+  inj_.CrashNode(nodes_[0], Seconds(5));
+  inj_.CrashNode(nodes_[0], Seconds(5));
+  EXPECT_EQ(crashed_.size(), 1u);
+  EXPECT_EQ(inj_.crashes_injected(), 1u);
+}
+
+TEST_F(FailureInjectorTest, AzFailureCrashesAllNodesInAz) {
+  inj_.FailAz(1, Seconds(10));
+  // Nodes 2 and 3 are in AZ 1.
+  EXPECT_EQ(crashed_.size(), 2u);
+  EXPECT_TRUE(net_.IsAzDown(1));
+  loop_.Run();
+  EXPECT_FALSE(net_.IsAzDown(1));
+  EXPECT_EQ(restarted_.size(), 2u);
+}
+
+TEST_F(FailureInjectorTest, BackgroundNoiseInjectsFailures) {
+  inj_.EnableBackgroundNoise(Minutes(10), Seconds(10));
+  loop_.RunUntil(Minutes(60));
+  inj_.DisableBackgroundNoise();
+  // Fleet of 6 nodes, MTTF 10 min each -> ~36 failures/hour expected.
+  EXPECT_GT(inj_.crashes_injected(), 10u);
+  EXPECT_LT(inj_.crashes_injected(), 120u);
+}
+
+TEST_F(FailureInjectorTest, SlowNodeRestoresAfterDuration) {
+  inj_.SlowNode(nodes_[0], 8.0, Seconds(1));
+  // Measure delivery latency while slowed.
+  SimTime t_slow = 0, t_fast = 0;
+  net_.Register(nodes_[1], [&](const Message&) {
+    if (t_slow == 0) {
+      t_slow = loop_.now();
+    } else {
+      t_fast = loop_.now();
+    }
+  });
+  SimTime sent1 = loop_.now();
+  net_.Send(nodes_[0], nodes_[1], 0, "x");
+  loop_.RunUntil(Seconds(2));
+  SimTime sent2 = loop_.now();
+  net_.Send(nodes_[0], nodes_[1], 0, "x");
+  loop_.Run();
+  EXPECT_GT(t_slow - sent1, (t_fast - sent2) * 3);
+}
+
+}  // namespace
+}  // namespace aurora::sim
