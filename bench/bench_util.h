@@ -2,9 +2,14 @@
 #define AURORA_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/metrics.h"
 #include "harness/bulk_load.h"
 #include "harness/scale.h"
 #include "harness/client_api.h"
@@ -137,6 +142,82 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
   printf("   absolute values; see EXPERIMENTS.md)\n");
   printf("==============================================================\n");
 }
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output (BENCH_<name>.json)
+// ---------------------------------------------------------------------------
+
+/// Collects one benchmark's headline numbers and whole-cluster metric dumps
+/// and emits them as a single JSON document through the metrics layer.
+///
+///   BenchReport report("table1_network_ios");
+///   report.Result("aurora.ios_per_txn", 0.95);
+///   report.AttachCluster("aurora", run.cluster.get());
+///   report.Write();   // -> BENCH_table1_network_ios.json
+///
+/// Output directory: $AURORA_BENCH_OUT if set, else the working directory.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Records one headline scalar under "results.<key>".
+  void Result(const std::string& key, double value) {
+    owned_.push_back(value);
+    double* p = &owned_.back();
+    registry_.RegisterGauge("results." + key, [p] { return *p; });
+  }
+
+  /// Records a latency histogram under "results.<key>". `h` must stay
+  /// alive until Write().
+  void ResultHistogram(const std::string& key, const Histogram* h) {
+    registry_.RegisterHistogram("results." + key, h);
+  }
+
+  /// Nests a full snapshot of the cluster's registry under `prefix` at
+  /// Write() time. The cluster must stay alive until Write().
+  void AttachCluster(const std::string& prefix, AuroraCluster* cluster) {
+    attached_.emplace_back(prefix, cluster->metrics());
+  }
+  void AttachRegistry(const std::string& prefix, const MetricsRegistry* reg) {
+    attached_.emplace_back(prefix, reg);
+  }
+
+  MetricsRegistry* registry() { return &registry_; }
+
+  /// Builds the merged snapshot (results + attached registries).
+  MetricsSnapshot Snapshot() const {
+    MetricsSnapshot snap = registry_.Snapshot();
+    for (const auto& [prefix, reg] : attached_) {
+      snap.MergeWithPrefix(prefix, reg->Snapshot());
+    }
+    return snap;
+  }
+
+  /// Writes BENCH_<name>.json; returns the path ("" on failure).
+  std::string Write() const {
+    const char* dir = getenv("AURORA_BENCH_OUT");
+    std::string path = (dir != nullptr && dir[0] != '\0')
+                           ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                           : "BENCH_" + name_ + ".json";
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return "";
+    }
+    std::string json = Snapshot().ToJson();
+    fwrite(json.data(), 1, json.size(), f);
+    fputc('\n', f);
+    fclose(f);
+    printf("\n[metrics] wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  MetricsRegistry registry_;
+  std::deque<double> owned_;  // deque: stable addresses for gauge readers
+  std::vector<std::pair<std::string, const MetricsRegistry*>> attached_;
+};
 
 }  // namespace aurora::bench
 

@@ -43,6 +43,18 @@ void Run() {
   printf("%-22s %12.2f %12.2f %11.1fx\n", "Aurora (after)",
          ToMillis(am.P50()), ToMillis(am.P95()),
          am.P50() ? static_cast<double>(am.P95()) / am.P50() : 0);
+  BenchReport report("fig9_select_latency");
+  report.Result("mysql.read_p50_ms", ToMillis(bm.P50()));
+  report.Result("mysql.read_p95_ms", ToMillis(bm.P95()));
+  report.Result("aurora.read_p50_ms", ToMillis(am.P50()));
+  report.Result("aurora.read_p95_ms", ToMillis(am.P95()));
+  report.ResultHistogram("mysql.read_latency_us", &bm);
+  report.ResultHistogram("aurora.read_latency_us", &am);
+  // The full cluster dump carries the write-path stage tracing
+  // (engine.writer.trace.*) that decomposes where Aurora's latency goes.
+  report.AttachCluster("aurora", after.cluster.get());
+  report.Write();
+
   printf("\nNote: this figure reproduces PARTIALLY (see EXPERIMENTS.md).\n");
   printf("The customer's 40-80x read tail came from multi-tenant EBS\n");
   printf("outliers under production load, which the single-tenant EBS\n");

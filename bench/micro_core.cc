@@ -6,7 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <utility>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "common/crc32c.h"
 #include "log/applicator.h"
 #include "log/log_record.h"
@@ -133,4 +136,36 @@ BENCHMARK(BM_BTreeInsert);
 }  // namespace
 }  // namespace aurora
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console reporter that additionally captures per-benchmark timings so
+/// they can be emitted through the metrics registry as BENCH_*.json.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      captured.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<std::pair<std::string, double>> captured;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  aurora::bench::BenchReport report("micro_core");
+  for (const auto& [name, real_time_ns] : reporter.captured) {
+    // Benchmark names ("BM_Crc32c/4096") become one leaf per benchmark.
+    report.Result(name + ".real_time_ns", real_time_ns);
+  }
+  report.Write();
+  return 0;
+}

@@ -84,6 +84,24 @@ void Run() {
          aurora.results.txns ? static_cast<double>(batches_received) / 6.0 /
                                    static_cast<double>(aurora.results.txns)
                              : 0);
+
+  BenchReport report("table1_network_ios");
+  report.Result("mysql.txns", static_cast<double>(mysql.results.txns));
+  report.Result("mysql.ios_per_txn", mysql_ios_per_txn);
+  report.Result("aurora.txns", static_cast<double>(aurora.results.txns));
+  report.Result("aurora.ios_per_txn", aurora_ios_per_txn);
+  report.Result("aurora.storage_batch_receipts",
+                static_cast<double>(batches_received));
+  report.Result("ratio.throughput",
+                mysql.results.txns
+                    ? static_cast<double>(aurora.results.txns) /
+                          static_cast<double>(mysql.results.txns)
+                    : 0);
+  report.Result("ratio.ios_per_txn",
+                aurora_ios_per_txn ? mysql_ios_per_txn / aurora_ios_per_txn
+                                   : 0);
+  report.AttachCluster("aurora", aurora.cluster.get());
+  report.Write();
 }
 
 }  // namespace

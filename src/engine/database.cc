@@ -218,6 +218,23 @@ void Database::Bootstrap(std::function<void(Status)> done) {
 void Database::Crash() {
   ++generation_;
   open_ = false;
+  // Cancel every timer whose closure captures this engine. The generation
+  // guard already neutralizes late firings, but the loop would otherwise
+  // retain the closures (and their captured `this`) until they fire —
+  // a use-after-free hazard if the Database is destroyed before the loop
+  // drains, and unbounded bookkeeping growth in long chaos runs.
+  for (auto& [pg, batch] : pending_batches_) {
+    if (batch.linger_armed) loop_->Cancel(batch.linger_event);
+  }
+  for (auto& [seq, batch] : outstanding_) {
+    if (batch->retry_event != 0) loop_->Cancel(batch->retry_event);
+  }
+  for (auto& [req, pr] : pending_reads_) {
+    if (pr.timeout_event != 0) loop_->Cancel(pr.timeout_event);
+  }
+  if (recovery_ != nullptr && recovery_->retry_event != 0) {
+    loop_->Cancel(recovery_->retry_event);
+  }
   pool_.Clear();
   locks_.Reset();
   txns_.clear();
@@ -298,6 +315,7 @@ void Database::AppendToBatch(const LogRecord& record) {
   PgId pg = PgOf(record.page_id);
   PendingBatch& batch = pending_batches_[pg];
   batch.pg = pg;
+  if (batch.records.empty()) batch.first_append_at = loop_->now();
   batch.bytes += record.EncodedSize();
   batch.records.push_back(record);
   if (batch.bytes >= options_.batch_max_bytes) {
@@ -324,6 +342,9 @@ void Database::FlushBatch(PgId pg) {
   auto ob = std::make_unique<OutstandingBatch>(options_.quorum);
   ob->pg = pg;
   ob->seq = next_batch_seq_++;
+  ob->appended_at = batch.first_append_at;
+  ob->flushed_at = loop_->now();
+  stats_.batch_append_to_flush_us.Record(ob->flushed_at - ob->appended_at);
   ob->records = std::move(batch.records);
   for (const LogRecord& r : ob->records) ob->lsns.push_back(r.lsn);
   OutstandingBatch* raw = ob.get();
@@ -379,8 +400,17 @@ void Database::HandleWriteAck(const sim::Message& msg) {
   auto it = outstanding_.find(ack.batch_seq);
   if (it == outstanding_.end()) return;
   OutstandingBatch* batch = it->second.get();
-  if (batch->tracker.Ack(ack.replica)) {
+  const bool quorum_reached = batch->tracker.Ack(ack.replica);
+  if (batch->first_ack_at == 0 && batch->tracker.acks() > 0) {
+    batch->first_ack_at = loop_->now();
+  }
+  if (quorum_reached) {
     loop_->Cancel(batch->retry_event);
+    stats_.batch_flush_to_first_ack_us.Record(batch->first_ack_at -
+                                              batch->flushed_at);
+    stats_.batch_first_ack_to_quorum_us.Record(loop_->now() -
+                                               batch->first_ack_at);
+    stats_.batch_append_to_quorum_us.Record(loop_->now() - batch->appended_at);
     for (Lsn lsn : batch->lsns) unacked_lsns_.erase(lsn);
     outstanding_.erase(it);
     AdvanceDurability();
@@ -584,6 +614,8 @@ void Database::HandleReadPageResp(const sim::Message& msg) {
     return;
   }
   PageId id = pr.page;
+  stats_.page_fetch_latency_us.Record(loop_->now() - pr.started_at);
+  stats_.read_retry_depth.Record(static_cast<uint64_t>(pr.replica_tried));
   pending_reads_.erase(it);
   fetch_in_flight_.erase(id);
   pool_.Install(id, std::move(page));

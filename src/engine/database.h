@@ -46,6 +46,16 @@ struct EngineStats {
   Histogram commit_latency_us;
   Histogram read_latency_us;
   Histogram write_latency_us;
+  // Write-path stage tracing (Figure 9-style breakdown): per-batch
+  // timestamps at append -> flush -> first storage ack -> write quorum.
+  Histogram batch_append_to_flush_us;
+  Histogram batch_flush_to_first_ack_us;
+  Histogram batch_first_ack_to_quorum_us;
+  Histogram batch_append_to_quorum_us;
+  // Read-path tracing: storage fetch round trip and how many segment
+  // replicas were tried before one served the page.
+  Histogram page_fetch_latency_us;
+  Histogram read_retry_depth;
 };
 
 /// Transaction state as persisted in the system transaction table.
@@ -225,6 +235,7 @@ class Database : public WalSink, public PageProvider {
     size_t bytes = 0;
     sim::EventId linger_event = 0;
     bool linger_armed = false;
+    SimTime first_append_at = 0;
   };
 
   struct OutstandingBatch {
@@ -235,6 +246,10 @@ class Database : public WalSink, public PageProvider {
     WriteTracker tracker;
     sim::EventId retry_event = 0;
     int attempts = 0;
+    // Stage timestamps for the write-path tracing histograms.
+    SimTime appended_at = 0;
+    SimTime flushed_at = 0;
+    SimTime first_ack_at = 0;
     explicit OutstandingBatch(QuorumConfig q) : tracker(q) {}
   };
 

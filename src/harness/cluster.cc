@@ -57,6 +57,205 @@ AuroraCluster::AuroraCluster(ClusterOptions options)
                                             &topology_, control_plane_.get(),
                                             options_.repair, rng.Fork());
   if (options_.start_repair_manager) repair_->Start();
+
+  RegisterAllMetrics();
+}
+
+void AuroraCluster::RegisterAllMetrics() {
+  MetricsRegistry* m = &metrics_;
+
+  // --- Engine (the current writer; closures indirect through `this` so
+  // they keep reading the promoted engine after a failover) ----------------
+  {
+    auto stats = [this]() -> const EngineStats& { return writer_->stats(); };
+    struct CounterDef {
+      const char* name;
+      uint64_t EngineStats::*field;
+    };
+    static constexpr CounterDef kEngineCounters[] = {
+        {"txns_started", &EngineStats::txns_started},
+        {"txns_committed", &EngineStats::txns_committed},
+        {"txns_aborted", &EngineStats::txns_aborted},
+        {"reads", &EngineStats::reads},
+        {"writes", &EngineStats::writes},
+        {"deletes", &EngineStats::deletes},
+        {"storage_page_reads", &EngineStats::storage_page_reads},
+        {"log_batches_sent", &EngineStats::log_batches_sent},
+        {"log_records_sent", &EngineStats::log_records_sent},
+        {"log_bytes_generated", &EngineStats::log_bytes_generated},
+        {"backpressure_stalls", &EngineStats::backpressure_stalls},
+        {"batch_retries", &EngineStats::batch_retries},
+        {"read_retries", &EngineStats::read_retries},
+    };
+    for (const CounterDef& def : kEngineCounters) {
+      m->RegisterCounter(std::string("engine.writer.") + def.name,
+                         [stats, field = def.field] { return stats().*field; });
+    }
+    struct HistDef {
+      const char* name;
+      Histogram EngineStats::*field;
+    };
+    static constexpr HistDef kEngineHists[] = {
+        {"commit_latency_us", &EngineStats::commit_latency_us},
+        {"read_latency_us", &EngineStats::read_latency_us},
+        {"write_latency_us", &EngineStats::write_latency_us},
+        {"trace.append_to_flush_us", &EngineStats::batch_append_to_flush_us},
+        {"trace.flush_to_first_ack_us",
+         &EngineStats::batch_flush_to_first_ack_us},
+        {"trace.first_ack_to_quorum_us",
+         &EngineStats::batch_first_ack_to_quorum_us},
+        {"trace.append_to_quorum_us", &EngineStats::batch_append_to_quorum_us},
+        {"trace.page_fetch_latency_us", &EngineStats::page_fetch_latency_us},
+        {"trace.read_retry_depth", &EngineStats::read_retry_depth},
+    };
+    for (const HistDef& def : kEngineHists) {
+      m->RegisterHistogram(
+          std::string("engine.writer.") + def.name,
+          [stats, field = def.field] { return &(stats().*field); });
+    }
+    m->RegisterGauge("engine.writer.vdl",
+                     [this] { return static_cast<double>(writer_->vdl()); });
+    m->RegisterGauge("engine.writer.active_txns", [this] {
+      return static_cast<double>(writer_->active_txns());
+    });
+
+    // Buffer pool and lock manager live inside the engine.
+    m->RegisterCounter("engine.writer.cache.hits",
+                       [this] { return writer_->buffer_pool()->stats().hits; });
+    m->RegisterCounter("engine.writer.cache.misses", [this] {
+      return writer_->buffer_pool()->stats().misses;
+    });
+    m->RegisterCounter("engine.writer.cache.evictions", [this] {
+      return writer_->buffer_pool()->stats().evictions;
+    });
+    m->RegisterCounter("engine.writer.cache.eviction_blocked", [this] {
+      return writer_->buffer_pool()->stats().eviction_blocked;
+    });
+    m->RegisterCounter("engine.writer.cache.installs", [this] {
+      return writer_->buffer_pool()->stats().installs;
+    });
+    m->RegisterCounter("engine.writer.locks.grants", [this] {
+      return writer_->lock_manager()->stats().grants;
+    });
+    m->RegisterCounter("engine.writer.locks.waits", [this] {
+      return writer_->lock_manager()->stats().waits;
+    });
+    m->RegisterCounter("engine.writer.locks.deadlocks", [this] {
+      return writer_->lock_manager()->stats().deadlocks;
+    });
+    m->RegisterCounter("engine.writer.locks.timeouts", [this] {
+      return writer_->lock_manager()->stats().timeouts;
+    });
+  }
+
+  // --- Read replicas (bounds-checked: failover shrinks the vector) --------
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    const std::string base = "replica.r" + std::to_string(i) + ".";
+    auto alive = [this, i] { return i < replicas_.size(); };
+    auto reg = [&](const char* name, auto getter) {
+      m->RegisterCounter(base + name, [this, i, alive, getter]() -> uint64_t {
+        return alive() ? getter(replicas_[i].get()) : 0;
+      });
+    };
+    reg("records_applied",
+        [](ReadReplica* r) { return r->stats().records_applied; });
+    reg("records_discarded",
+        [](ReadReplica* r) { return r->stats().records_discarded; });
+    reg("mtrs_applied", [](ReadReplica* r) { return r->stats().mtrs_applied; });
+    reg("reads", [](ReadReplica* r) { return r->stats().reads; });
+    reg("storage_page_reads",
+        [](ReadReplica* r) { return r->stats().storage_page_reads; });
+    m->RegisterHistogram(base + "lag_us", [this, i, alive]() -> const Histogram* {
+      return alive() ? &replicas_[i]->stats().lag_us : nullptr;
+    });
+    m->RegisterHistogram(base + "read_latency_us",
+                         [this, i, alive]() -> const Histogram* {
+                           return alive() ? &replicas_[i]->stats().read_latency_us
+                                          : nullptr;
+                         });
+  }
+
+  // --- Storage fleet (stable for the cluster's lifetime) ------------------
+  for (size_t i = 0; i < storage_nodes_.size(); ++i) {
+    StorageNode* sn = storage_nodes_[i].get();
+    const std::string base = "storage.node" + std::to_string(sn->id()) + ".";
+    const StorageNodeStats* s = &sn->stats();
+    m->RegisterCounter(base + "batches_received", &s->batches_received);
+    m->RegisterCounter(base + "records_received", &s->records_received);
+    m->RegisterCounter(base + "acks_sent", &s->acks_sent);
+    m->RegisterCounter(base + "page_reads_served", &s->page_reads_served);
+    m->RegisterCounter(base + "page_read_errors", &s->page_read_errors);
+    m->RegisterCounter(base + "gossip_rounds", &s->gossip_rounds);
+    m->RegisterCounter(base + "gossip_records_sent", &s->gossip_records_sent);
+    m->RegisterCounter(base + "gossip_records_filled",
+                       &s->gossip_records_filled);
+    m->RegisterCounter(base + "records_coalesced", &s->records_coalesced);
+    m->RegisterCounter(base + "records_gced", &s->records_gced);
+    m->RegisterCounter(base + "scrub_rounds", &s->scrub_rounds);
+    m->RegisterCounter(base + "corrupt_pages_found", &s->corrupt_pages_found);
+    m->RegisterCounter(base + "corrupt_pages_repaired",
+                       &s->corrupt_pages_repaired);
+    m->RegisterCounter(base + "backup_objects", &s->backup_objects);
+    m->RegisterCounter(base + "background_deferrals",
+                       &s->background_deferrals);
+    m->RegisterCounter(base + "stale_epoch_rejects", &s->stale_epoch_rejects);
+    m->RegisterHistogram(base + "trace.gossip_fill_batch",
+                         &s->gossip_fill_batch);
+
+    sim::Disk* disk = sn->disk();
+    m->RegisterCounter(base + "disk.writes", [disk] { return disk->writes(); });
+    m->RegisterCounter(base + "disk.reads", [disk] { return disk->reads(); });
+    m->RegisterCounter(base + "disk.bytes_written",
+                       [disk] { return disk->bytes_written(); });
+    m->RegisterCounter(base + "disk.bytes_read",
+                       [disk] { return disk->bytes_read(); });
+    m->RegisterGauge(base + "disk.backlog_us", [disk] {
+      return static_cast<double>(disk->backlog());
+    });
+  }
+
+  // --- Network fabric ------------------------------------------------------
+  {
+    sim::Network* net = network_.get();
+    m->RegisterCounter("net.total.messages_sent",
+                       [net] { return net->total().messages_sent; });
+    m->RegisterCounter("net.total.messages_received",
+                       [net] { return net->total().messages_received; });
+    m->RegisterCounter("net.total.packets_sent",
+                       [net] { return net->total().packets_sent; });
+    m->RegisterCounter("net.total.bytes_sent",
+                       [net] { return net->total().bytes_sent; });
+    m->RegisterCounter("net.total.messages_dropped",
+                       [net] { return net->total().messages_dropped; });
+    for (sim::NodeId n = 0; n < topology_.num_nodes(); ++n) {
+      const std::string base = "net." + topology_.name_of(n) + ".";
+      m->RegisterCounter(base + "messages_sent",
+                         [net, n] { return net->stats_of(n).messages_sent; });
+      m->RegisterCounter(base + "bytes_sent",
+                         [net, n] { return net->stats_of(n).bytes_sent; });
+      m->RegisterCounter(base + "packets_sent",
+                         [net, n] { return net->stats_of(n).packets_sent; });
+      m->RegisterCounter(base + "messages_dropped", [net, n] {
+        return net->stats_of(n).messages_dropped;
+      });
+    }
+  }
+
+  // --- Repair, S3, event loop ---------------------------------------------
+  m->RegisterCounter("repair.repairs_started",
+                     [this] { return repair_->stats().repairs_started; });
+  m->RegisterCounter("repair.repairs_completed",
+                     [this] { return repair_->stats().repairs_completed; });
+  m->RegisterCounter("repair.migrations",
+                     [this] { return repair_->stats().migrations; });
+  m->RegisterCounter("s3.objects", [this] { return s3_->num_objects(); });
+  m->RegisterCounter("s3.bytes_stored", [this] { return s3_->bytes_stored(); });
+  m->RegisterCounter("s3.puts", [this] { return s3_->puts(); });
+  m->RegisterCounter("s3.gets", [this] { return s3_->gets(); });
+  m->RegisterCounter("sim.events_executed",
+                     [this] { return loop_.events_executed(); });
+  m->RegisterGauge("sim.now_us",
+                   [this] { return static_cast<double>(loop_.now()); });
 }
 
 AuroraCluster::~AuroraCluster() = default;

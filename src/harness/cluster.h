@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "engine/database.h"
 #include "engine/replica.h"
@@ -98,7 +99,17 @@ class AuroraCluster {
   /// Runs the loop for a fixed duration.
   void RunFor(SimDuration d) { loop_.RunFor(d); }
 
+  // --- Observability -------------------------------------------------------
+  /// The unified metrics registry: every component's counters, gauges and
+  /// histograms under one hierarchical namespace (engine.*, replica.*,
+  /// storage.*, net.*, repair.*, s3.*, sim.*). Registered readers indirect
+  /// through the cluster, so they stay valid across writer failover.
+  MetricsRegistry* metrics() { return &metrics_; }
+  /// One machine-readable JSON document with every metric in the cluster.
+  std::string DumpMetricsJson() { return metrics_.ToJson(); }
+
  private:
+  void RegisterAllMetrics();
   ClusterOptions options_;
   sim::EventLoop loop_;
   sim::Topology topology_;
@@ -120,6 +131,8 @@ class AuroraCluster {
   /// guards make every late firing a no-op.
   std::vector<std::unique_ptr<Database>> retired_writers_;
   std::vector<std::unique_ptr<ReadReplica>> retired_replicas_;
+
+  MetricsRegistry metrics_;
 };
 
 }  // namespace aurora

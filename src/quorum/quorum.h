@@ -8,6 +8,12 @@
 
 namespace aurora {
 
+/// Upper bound on V in any quorum scheme: WriteTracker records acks in a
+/// fixed-width bitset of this many slots, so configurations beyond it are
+/// rejected by QuorumConfig::Valid() rather than silently corrupting the
+/// tracker.
+inline constexpr int kMaxQuorumVotes = 16;
+
 /// Quorum configuration (V, V_w, V_r) per §2.1. Aurora's design point is
 /// V=6, V_w=4, V_r=3: tolerate "AZ+1" for reads (lose a whole AZ plus one
 /// more node and still read), and a whole AZ for writes.
@@ -21,10 +27,11 @@ struct QuorumConfig {
   static QuorumConfig TwoOfThree() { return {3, 2, 2}; }
 
   /// Gifford's consistency rules: reads see the latest write
-  /// (V_r + V_w > V) and writes are ordered (V_w > V/2).
+  /// (V_r + V_w > V) and writes are ordered (V_w > V/2); V is additionally
+  /// capped at kMaxQuorumVotes, the WriteTracker's capacity.
   bool Valid() const {
-    return votes > 0 && write_quorum > 0 && read_quorum > 0 &&
-           write_quorum <= votes && read_quorum <= votes &&
+    return votes > 0 && votes <= kMaxQuorumVotes && write_quorum > 0 &&
+           read_quorum > 0 && write_quorum <= votes && read_quorum <= votes &&
            read_quorum + write_quorum > votes && 2 * write_quorum > votes;
   }
 
@@ -36,12 +43,19 @@ struct QuorumConfig {
 /// six segment replicas of a protection group).
 class WriteTracker {
  public:
+  /// Capacity of the ack bitset; QuorumConfig::Valid() rejects schemes
+  /// with more votes than this.
+  static constexpr int kMaxVotes = kMaxQuorumVotes;
+
   explicit WriteTracker(QuorumConfig config) : config_(config) {}
 
   /// Records an ack from replica `idx` (0-based). Returns true if this ack
   /// is the one that achieves the write quorum.
   bool Ack(int idx) {
-    if (idx < 0 || idx >= config_.votes || acked_.test(idx)) return false;
+    if (idx < 0 || idx >= config_.votes || idx >= kMaxVotes ||
+        acked_.test(idx)) {
+      return false;
+    }
     acked_.set(idx);
     ++count_;
     return count_ == config_.write_quorum;
@@ -50,12 +64,13 @@ class WriteTracker {
   bool achieved() const { return count_ >= config_.write_quorum; }
   int acks() const { return count_; }
   bool has_ack_from(int idx) const {
-    return idx >= 0 && idx < config_.votes && acked_.test(idx);
+    return idx >= 0 && idx < config_.votes && idx < kMaxVotes &&
+           acked_.test(idx);
   }
 
  private:
   QuorumConfig config_;
-  std::bitset<16> acked_;
+  std::bitset<kMaxVotes> acked_;
   int count_ = 0;
 };
 

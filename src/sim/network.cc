@@ -60,17 +60,20 @@ void Network::Send(NodeId from, NodeId to, uint16_t type,
   s.bytes_sent += payload.size();
   s.packets_sent += 1 + payload.size() / options_.mtu_bytes;
 
-  if (!Reachable(from, to) || rng_.Bernoulli(drop_probability_)) {
-    s.messages_dropped++;
-    return;
-  }
-
   // NIC serialization: a sender transmits one message at a time at the NIC's
-  // line rate; concurrent sends queue behind each other.
+  // line rate; concurrent sends queue behind each other. This happens before
+  // any loss decision — a message dropped in transit (or addressed to a dead
+  // host) still occupied the sender's NIC, so lossy links don't grant the
+  // sender free bandwidth.
   SimTime start = std::max(loop_->now(), nic_busy_until_[from]);
   auto transmit = static_cast<SimDuration>(
       static_cast<double>(payload.size()) / options_.node_bandwidth_bps * 1e6);
   nic_busy_until_[from] = start + transmit;
+
+  if (!Reachable(from, to) || rng_.Bernoulli(drop_probability_)) {
+    s.messages_dropped++;
+    return;
+  }
 
   SimTime deliver_at = start + transmit + PropagationDelay(from, to);
 

@@ -325,9 +325,12 @@ void StorageNode::HandleGossipPush(const sim::Message& msg) {
     if (gen != generation_ || crashed_ || !s.ok()) return;
     Segment* seg = segment(push.pg);
     if (seg == nullptr) return;
+    uint64_t filled = 0;
     for (const LogRecord& r : push.records) {
-      if (seg->AddRecord(r)) ++stats_.gossip_records_filled;
+      if (seg->AddRecord(r)) ++filled;
     }
+    stats_.gossip_records_filled += filled;
+    if (filled > 0) stats_.gossip_fill_batch.Record(filled);
   });
 }
 
@@ -418,11 +421,22 @@ void StorageNode::BackupTick() {
     if (Busy()) ++stats_.background_deferrals;
     return;
   }
-  // Figure 4 step 6: continuously stage complete log to S3. Replica 0 of
-  // each PG is the designated uploader to avoid 6x duplicate archives.
+  // Figure 4 step 6: continuously stage complete log to S3. The lowest-
+  // index *live* replica of each PG is the designated uploader (control-
+  // plane mediated) — a single uploader avoids 6x duplicate archives, and
+  // falling back past crashed replicas keeps backups flowing while the
+  // preferred uploader is down.
   for (auto& [pg, seg] : segments_) {
     const PgMembership& members = control_plane_->membership(pg);
-    if (members.IndexOf(id_) != 0) continue;
+    sim::NodeId uploader = sim::kInvalidNode;
+    for (sim::NodeId candidate : members.nodes) {
+      StorageNode* node = control_plane_->node(candidate);
+      if (node != nullptr && !node->crashed()) {
+        uploader = candidate;
+        break;
+      }
+    }
+    if (uploader != id_) continue;
     std::vector<LogRecord> records =
         seg->UnbackedRecords(options_.backup_max_records);
     if (records.empty()) continue;

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 
+#include "common/histogram.h"
 #include "common/random.h"
 #include "sim/disk.h"
 #include "sim/event_loop.h"
@@ -53,6 +54,9 @@ struct StorageNodeStats {
   uint64_t backup_objects = 0;
   uint64_t background_deferrals = 0;
   uint64_t stale_epoch_rejects = 0;
+  /// Records back-filled per gossip push integrated (hole-repair depth —
+  /// how far behind this replica had fallen when gossip healed it).
+  Histogram gossip_fill_batch;
 };
 
 /// A storage host: local SSD plus the eight-step I/O pipeline of Figure 4:

@@ -148,5 +148,47 @@ TEST_P(CrashLoopTest, AckedSurvivesUnackedRollsBack) {
   }
 }
 
+// Regression: Crash() must Cancel() every timer whose closure captures the
+// engine — outstanding-batch retries, pending-read timeouts, armed batch
+// lingers. The generation guard made late firings harmless, but the loop
+// retained the closures (use-after-free risk if the Database is destroyed
+// before the loop drains, and unbounded event bookkeeping in long chaos
+// runs).
+TEST(ChaosCrashCleanupTest, CrashMidFlightCancelsEngineEvents) {
+  ClusterOptions o;
+  o.engine.page_size = 4096;
+  o.engine.pages_per_pg = 64;
+  AuroraCluster cluster(o);
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+  ASSERT_TRUE(cluster.PutSync(table, Key(0), "durable").ok());
+
+  // Kick off a burst of writes and stop mid-flight: batches are pending
+  // (linger timers armed) or outstanding (retry timers armed), and page
+  // fetches may be waiting on their timeout timers.
+  for (int i = 1; i <= 30; ++i) {
+    TxnId txn = cluster.writer()->Begin();
+    cluster.writer()->Put(txn, table, Key(i), "in-flight", [](Status) {});
+  }
+  for (int i = 0; i < 40; ++i) cluster.loop()->RunOne();
+
+  const size_t pending_before = cluster.loop()->pending();
+  cluster.CrashWriter();
+  const size_t pending_after = cluster.loop()->pending();
+  // Cancelled events leave the queue immediately instead of lingering
+  // until their (generation-guarded) no-op firing.
+  EXPECT_LT(pending_after, pending_before);
+
+  // Drain the loop past every would-have-fired timer, then recover: the
+  // cluster is fully functional and acked data survived.
+  cluster.RunFor(Seconds(5));
+  ASSERT_TRUE(cluster.RecoverSync().ok());
+  auto got = cluster.GetSync(table, Key(0));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "durable");
+  ASSERT_TRUE(cluster.PutSync(table, Key(100), "post-recovery").ok());
+}
+
 }  // namespace
 }  // namespace aurora

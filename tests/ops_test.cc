@@ -55,6 +55,43 @@ TEST(OpsTest, RollingOneAzAtATimePatchKeepsClusterAvailable) {
   }
 }
 
+// Regression: BackupTick() used to upload only from replica 0 of each PG,
+// so backups stalled forever while that one node was crashed. The uploader
+// role now falls back to the lowest-index *live* replica (control-plane
+// mediated).
+TEST(OpsTest, BackupContinuesAfterDesignatedUploaderCrashes) {
+  ClusterOptions o;
+  o.engine.page_size = 4096;
+  o.engine.pages_per_pg = 64;
+  // Keep repair out of the picture: the fallback uploader must take over
+  // long before any re-replication would repopulate replica 0.
+  o.repair.detection_threshold = Minutes(10);
+  AuroraCluster cluster(o);
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster.PutSync(table, Key(i), "v").ok());
+  }
+  cluster.RunFor(Seconds(2));  // several backup intervals
+  const size_t objects_before = cluster.s3()->ListKeys("backup/pg000000/").size();
+  EXPECT_GT(objects_before, 0u);
+
+  // Crash the designated uploader of PG 0 and keep writing.
+  sim::NodeId uploader = cluster.control_plane()->membership(0).nodes[0];
+  cluster.storage_node_by_id(uploader)->Crash();
+  for (int i = 30; i < 60; ++i) {
+    ASSERT_TRUE(cluster.PutSync(table, Key(i), "v").ok());
+  }
+  cluster.RunFor(Seconds(3));
+
+  // Backup objects kept flowing while replica 0 stayed down.
+  const size_t objects_after = cluster.s3()->ListKeys("backup/pg000000/").size();
+  EXPECT_GT(objects_after, objects_before);
+  EXPECT_TRUE(cluster.storage_node_by_id(uploader)->crashed());
+}
+
 TEST(SimS3Test, PutGetListSemantics) {
   sim::EventLoop loop;
   SimS3 s3(&loop, SimS3::Options{}, Random(1));

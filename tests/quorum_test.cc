@@ -51,6 +51,34 @@ TEST(QuorumConfigTest, ValidSchemesAlwaysIntersect) {
   }
 }
 
+TEST(QuorumConfigTest, VotesBeyondTrackerCapacityRejected) {
+  // Regression: Valid() used to accept any V while WriteTracker stores acks
+  // in a bitset of kMaxVotes slots — Ack()/has_ack_from() on a larger
+  // scheme indexed past the bitset (UB). Valid() is now bounded by the
+  // tracker capacity.
+  EXPECT_EQ(WriteTracker::kMaxVotes, kMaxQuorumVotes);
+  EXPECT_TRUE((QuorumConfig{16, 9, 8}.Valid()));   // at the cap: fine
+  EXPECT_FALSE((QuorumConfig{17, 9, 9}.Valid()));  // beyond it: rejected
+  EXPECT_FALSE((QuorumConfig{32, 17, 16}.Valid()));
+}
+
+TEST(WriteTrackerTest, LargestValidQuorumStaysInBounds) {
+  QuorumConfig q{16, 9, 8};
+  ASSERT_TRUE(q.Valid());
+  WriteTracker t(q);
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(t.Ack(i));
+  EXPECT_TRUE(t.Ack(8));  // the 9th ack crosses the quorum
+  EXPECT_FALSE(t.has_ack_from(15));
+  t.Ack(15);  // idx 15 is the last valid slot
+  EXPECT_TRUE(t.has_ack_from(15));
+  // Out-of-capacity indices are ignored even if a caller hands the tracker
+  // an (invalid) oversized config directly.
+  WriteTracker oversized(QuorumConfig{32, 17, 16});
+  EXPECT_FALSE(oversized.Ack(20));
+  EXPECT_FALSE(oversized.has_ack_from(20));
+  EXPECT_EQ(oversized.acks(), 0);
+}
+
 TEST(WriteTrackerTest, AchievesAtExactlyWriteQuorum) {
   WriteTracker t(QuorumConfig::Aurora());
   EXPECT_FALSE(t.achieved());

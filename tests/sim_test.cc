@@ -168,6 +168,49 @@ TEST_F(NetworkTest, CountsPacketsAtMtuGranularity) {
   EXPECT_EQ(net_.stats_of(a_).bytes_sent, big.size());
 }
 
+TEST_F(NetworkTest, DroppedSendsStillConsumeNicTime) {
+  // Regression: loss happens on the wire, not at the NIC — a dropped
+  // message must still occupy the sender's NIC for its serialization time,
+  // or lossy links would grant senders free bandwidth. A huge message to a
+  // dead node must delay a subsequent small send's delivery.
+  FabricOptions opts;
+  // ~10 ms of NIC serialization at the default 10 Gbit/s.
+  std::string big(static_cast<size_t>(opts.node_bandwidth_bps / 100), 'x');
+  const SimDuration big_transmit = static_cast<SimDuration>(
+      static_cast<double>(big.size()) / opts.node_bandwidth_bps * 1e6);
+
+  net_.SetNodeDown(b_, true);
+  net_.Send(a_, b_, 0, big);  // dropped (unreachable), but transmitted
+  EXPECT_EQ(net_.stats_of(a_).messages_dropped, 1u);
+
+  SimTime delivered_at = 0;
+  net_.Register(c_, [&](const Message&) { delivered_at = loop_.now(); });
+  net_.Send(a_, c_, 0, "small");
+  loop_.Run();
+  // The small message queued behind the dropped one's NIC serialization.
+  EXPECT_GE(delivered_at, big_transmit);
+}
+
+TEST_F(NetworkTest, RandomDropsAlsoConsumeNicTime) {
+  // Same property for probabilistic drops: with p=1 every message is lost,
+  // yet back-to-back sends must still serialize one after another.
+  net_.set_drop_probability(1.0);
+  FabricOptions opts;
+  std::string big(static_cast<size_t>(opts.node_bandwidth_bps / 100), 'x');
+  const SimDuration big_transmit = static_cast<SimDuration>(
+      static_cast<double>(big.size()) / opts.node_bandwidth_bps * 1e6);
+  net_.Send(a_, b_, 0, big);
+  net_.Send(a_, b_, 0, big);
+  EXPECT_EQ(net_.stats_of(a_).messages_dropped, 2u);
+
+  net_.set_drop_probability(0.0);
+  SimTime delivered_at = 0;
+  net_.Register(c_, [&](const Message&) { delivered_at = loop_.now(); });
+  net_.Send(a_, c_, 0, "small");
+  loop_.Run();
+  EXPECT_GE(delivered_at, 2 * big_transmit);
+}
+
 TEST_F(NetworkTest, TotalAggregatesAndResets) {
   net_.Send(a_, b_, 0, "x");
   net_.Send(b_, c_, 0, "y");
