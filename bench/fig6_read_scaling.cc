@@ -5,10 +5,22 @@
 
 #include <cstdio>
 
+#include <string>
+
 #include "bench/bench_util.h"
 
 namespace aurora::bench {
 namespace {
+
+// Metric keys use '.' as a path separator, so "r3.8xlarge" becomes
+// "r3_8xlarge" in the report.
+std::string MetricName(const std::string& instance) {
+  std::string out = instance;
+  for (char& c : out) {
+    if (c == '.') c = '_';
+  }
+  return out;
+}
 
 void Run() {
   PrintHeader("Figure 6: read-only statements/sec vs instance size",
@@ -21,6 +33,9 @@ void Run() {
   // sane at the simulated scale by using 10 scale-GB of rows (still fully
   // cache-resident, as in the paper's 1GB configuration).
   const uint64_t rows = RowsForGb(10);
+
+  BenchReport report("fig6_read_scaling");
+  AuroraRun last_aurora;  // largest instance, kept alive for the dump
 
   printf("%-12s %6s %16s %16s\n", "instance", "vcpus", "aurora reads/s",
          "mysql reads/s");
@@ -44,7 +59,19 @@ void Run() {
 
     printf("%-12s %6d %16.0f %16.0f\n", inst.name.c_str(), inst.vcpus,
            aurora.results.reads_per_sec(), mysql.results.reads_per_sec());
+
+    const std::string key = MetricName(inst.name);
+    report.Result("aurora." + key + ".reads_per_sec",
+                  aurora.results.reads_per_sec());
+    report.Result("mysql." + key + ".reads_per_sec",
+                  mysql.results.reads_per_sec());
+    last_aurora = std::move(aurora);
   }
+  // Full cluster dump for the largest instance: carries the storage-fleet
+  // counters (storage.page_cache.*, IO totals) behind the headline curve.
+  report.AttachCluster("aurora", last_aurora.cluster.get());
+  report.Write();
+
   printf("\nExpected shape: Aurora roughly doubles per size step and tops\n");
   printf("out well above MySQL (paper: 600K vs 120K reads/sec at 8xl).\n");
 }

@@ -15,6 +15,7 @@
 #include "log/log_record.h"
 #include "page/btree.h"
 #include "page/page.h"
+#include "storage/segment.h"
 #include "tests/test_util.h"
 
 namespace aurora {
@@ -132,6 +133,46 @@ void BM_BTreeInsert(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BTreeInsert);
+
+// Storage-node page reconstruction with the LSN-versioned cache off (arg 0)
+// vs on (arg 1). Cache off replays the page's full redo chain on every
+// read; cache on serves repeated reads at the same read point from the
+// cached image (a full hit after the first miss).
+void BM_SegmentGetPageAsOf(benchmark::State& state) {
+  constexpr size_t kPageSize = 16384;
+  constexpr int kPages = 4;
+  constexpr int kRecords = 256;
+  Segment seg(0, kPageSize);
+  if (state.range(0) != 0) seg.set_page_cache_budget(64 * kPageSize);
+  Lsn prev = kInvalidLsn;
+  for (int i = 0; i < kRecords; ++i) {
+    LogRecord r;
+    r.lsn = 100 + static_cast<Lsn>(i) * 10;
+    r.prev_pg_lsn = prev;
+    r.prev_vol_lsn = prev;
+    r.page_id = static_cast<PageId>(i % kPages);
+    r.txn_id = 1;
+    if (i < kPages) {
+      r.op = RedoOp::kFormatPage;
+      r.payload = LogRecord::MakeFormatPayload(
+          static_cast<uint8_t>(PageType::kBTreeLeaf), 0);
+    } else {
+      r.op = RedoOp::kInsert;
+      r.payload = LogRecord::MakeKeyValuePayload("k" + std::to_string(i),
+                                                 std::string(64, 'v'));
+    }
+    prev = r.lsn;
+    seg.AddRecord(r);
+  }
+  const Lsn rp = seg.scl();
+  PageId page = 0;
+  for (auto _ : state) {
+    auto result = seg.GetPageAsOf(page, rp);
+    benchmark::DoNotOptimize(result);
+    page = static_cast<PageId>((page + 1) % kPages);
+  }
+}
+BENCHMARK(BM_SegmentGetPageAsOf)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace aurora

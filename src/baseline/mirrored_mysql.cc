@@ -977,9 +977,14 @@ void MirroredMySql::Rollback(TxnId txn, std::function<void(Status)> done) {
 void MirroredMySql::FinishRollback(Txn* t, std::function<void(Status)> done) {
   t->active = false;
   // In-memory undo (the baseline does not persist undo; see DESIGN.md).
+  // The stored callback refers to itself weakly; each continuation passed to
+  // RunWithRetries holds the strong reference that keeps the chain alive.
+  // Capturing `undo_next` strongly here would make the std::function own a
+  // shared_ptr to itself — a reference cycle that never frees.
   auto undo_next = std::make_shared<std::function<void(size_t)>>();
+  std::weak_ptr<std::function<void(size_t)>> weak_next = undo_next;
   TxnId id = t->id;
-  *undo_next = [this, id, done, undo_next](size_t remaining) {
+  *undo_next = [this, id, done, weak_next](size_t remaining) {
     Txn* t = FindTxn(id);
     if (t == nullptr) {
       done(Status::OK());
@@ -1009,13 +1014,17 @@ void MirroredMySql::FinishRollback(Txn* t, std::function<void(Status)> done) {
       }
       return CommitMtr(&mtr);
     };
-    RunWithRetries(attempt, [done, undo_next, remaining](Status s) {
-      if (!s.ok()) {
-        done(s);
-        return;
-      }
-      (*undo_next)(remaining - 1);
-    });
+    // Locking here always succeeds: the caller of this lambda (either
+    // FinishRollback or a previous continuation) holds a strong reference
+    // for the duration of the call.
+    RunWithRetries(attempt,
+                   [done, next = weak_next.lock(), remaining](Status s) {
+                     if (!s.ok()) {
+                       done(s);
+                       return;
+                     }
+                     if (next) (*next)(remaining - 1);
+                   });
   };
   (*undo_next)(t->undo.size());
 }

@@ -356,20 +356,31 @@ void Database::FlushBatch(PgId pg) {
 void Database::SendBatch(OutstandingBatch* batch) {
   const PgMembership& members = control_plane_->membership(batch->pg);
   const Lsn pgmrpl = ComputePgmrpl();
+  // Single-encode fan-out: the body (epoch, seq, hints, record blob) is
+  // identical for all replicas, so serialize it once and share the buffer
+  // across the un-acked sends; only the tiny pg+replica header is built per
+  // destination.
+  std::shared_ptr<const std::string> body;
+  uint64_t sends = 0;
   for (int idx = 0; idx < kReplicasPerPg; ++idx) {
     if (batch->tracker.has_ack_from(idx)) continue;
-    WriteBatchMsg msg;
-    msg.pg = batch->pg;
-    msg.replica = static_cast<ReplicaIdx>(idx);
-    msg.epoch = volume_epoch_;
-    msg.batch_seq = batch->seq;
-    msg.vdl_hint = vdl_;
-    msg.pgmrpl_hint = pgmrpl;
-    msg.records = batch->records;
-    std::string payload;
-    msg.EncodeTo(&payload);
+    if (!body) {
+      auto encoded = std::make_shared<std::string>();
+      WriteBatchMsg::EncodeBody(volume_epoch_, batch->seq, vdl_, pgmrpl,
+                                batch->records, encoded.get());
+      body = std::move(encoded);
+    }
+    WriteBatchMsg header_msg;
+    header_msg.pg = batch->pg;
+    header_msg.replica = static_cast<ReplicaIdx>(idx);
+    std::string header;
+    header_msg.EncodeHeaderTo(&header);
     network_->Send(node_id_, members.nodes[idx], kMsgWriteBatch,
-                   std::move(payload));
+                   std::move(header), body);
+    ++sends;
+  }
+  if (sends > 1) {
+    stats_.batch_encode_bytes_saved += (sends - 1) * body->size();
   }
   // Retry until the write quorum is reached: storage nodes deduplicate by
   // LSN and re-ack, so resends are idempotent.

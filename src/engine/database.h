@@ -43,6 +43,10 @@ struct EngineStats {
   uint64_t backpressure_stalls = 0;  // ops deferred by the LAL (§4.2.1)
   uint64_t batch_retries = 0;
   uint64_t read_retries = 0;
+  /// Bytes NOT re-serialized thanks to single-encode fan-out: the shared
+  /// WriteBatchMsg body is encoded once per (re)send and shared across the
+  /// 6 segment replicas; this accumulates (sends - 1) * body_size.
+  uint64_t batch_encode_bytes_saved = 0;
   Histogram commit_latency_us;
   Histogram read_latency_us;
   Histogram write_latency_us;

@@ -61,7 +61,13 @@ void ReadReplica::Crash() {
   stashed_records_.clear();
   page_waiters_.clear();
   fetch_in_flight_.clear();
+  // Cancel outstanding fetch-retry timers and the read-point reporting tick
+  // so repeated crash/restart cycles don't leak dead events in the loop.
+  for (const auto& [req_id, pr] : pending_reads_) {
+    loop_->Cancel(pr.timeout_event);
+  }
   pending_reads_.clear();
+  loop_->Cancel(read_point_timer_);
 }
 
 void ReadReplica::Restart() {
@@ -327,7 +333,7 @@ void ReadReplica::TableAnchor(const std::string& name,
 
 void ReadReplica::ReportReadPointTick() {
   const uint64_t gen = generation_;
-  loop_->Schedule(options_.pgmrpl_interval, [this, gen] {
+  read_point_timer_ = loop_->Schedule(options_.pgmrpl_interval, [this, gen] {
     if (gen != generation_ || crashed_) return;
     ReportReadPointTick();
   });

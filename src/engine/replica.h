@@ -131,6 +131,7 @@ class ReadReplica : public PageProvider {
 
   bool crashed_ = false;
   uint64_t generation_ = 0;
+  sim::EventId read_point_timer_ = 0;
   ReplicaStats stats_;
 };
 

@@ -86,6 +86,7 @@ void AuroraCluster::RegisterAllMetrics() {
         {"backpressure_stalls", &EngineStats::backpressure_stalls},
         {"batch_retries", &EngineStats::batch_retries},
         {"read_retries", &EngineStats::read_retries},
+        {"batch_encode_bytes_saved", &EngineStats::batch_encode_bytes_saved},
     };
     for (const CounterDef& def : kEngineCounters) {
       m->RegisterCounter(std::string("engine.writer.") + def.name,
@@ -201,6 +202,17 @@ void AuroraCluster::RegisterAllMetrics() {
     m->RegisterCounter(base + "stale_epoch_rejects", &s->stale_epoch_rejects);
     m->RegisterHistogram(base + "trace.gossip_fill_batch",
                          &s->gossip_fill_batch);
+    m->RegisterCounter(base + "page_cache.hits",
+                       [sn] { return sn->PageCacheTotals().hits; });
+    m->RegisterCounter(base + "page_cache.partial_hits",
+                       [sn] { return sn->PageCacheTotals().partial_hits; });
+    m->RegisterCounter(base + "page_cache.misses",
+                       [sn] { return sn->PageCacheTotals().misses; });
+    m->RegisterCounter(base + "page_cache.evictions",
+                       [sn] { return sn->PageCacheTotals().evictions; });
+    m->RegisterGauge(base + "page_cache.bytes", [sn] {
+      return static_cast<double>(sn->PageCacheBytes());
+    });
 
     sim::Disk* disk = sn->disk();
     m->RegisterCounter(base + "disk.writes", [disk] { return disk->writes(); });
@@ -211,6 +223,34 @@ void AuroraCluster::RegisterAllMetrics() {
                        [disk] { return disk->bytes_read(); });
     m->RegisterGauge(base + "disk.backlog_us", [disk] {
       return static_cast<double>(disk->backlog());
+    });
+  }
+
+  // --- Storage fleet-wide reconstruction-cache totals ---------------------
+  {
+    auto totals = [this] {
+      PageCacheStats t;
+      for (const auto& sn : storage_nodes_) {
+        PageCacheStats s = sn->PageCacheTotals();
+        t.hits += s.hits;
+        t.partial_hits += s.partial_hits;
+        t.misses += s.misses;
+        t.evictions += s.evictions;
+      }
+      return t;
+    };
+    m->RegisterCounter("storage.page_cache.hits",
+                       [totals] { return totals().hits; });
+    m->RegisterCounter("storage.page_cache.partial_hits",
+                       [totals] { return totals().partial_hits; });
+    m->RegisterCounter("storage.page_cache.misses",
+                       [totals] { return totals().misses; });
+    m->RegisterCounter("storage.page_cache.evictions",
+                       [totals] { return totals().evictions; });
+    m->RegisterGauge("storage.page_cache.bytes", [this] {
+      uint64_t bytes = 0;
+      for (const auto& sn : storage_nodes_) bytes += sn->PageCacheBytes();
+      return static_cast<double>(bytes);
     });
   }
 

@@ -7,6 +7,14 @@ Status LogApplicator::Apply(const LogRecord& record, Page* page) {
       page->page_lsn() >= record.lsn) {
     return Status::OK();  // already applied
   }
+  if (!page->IsFormatted() && record.op != RedoOp::kFormatPage) {
+    // Redo is a delta over prior page state. On an unformatted buffer the
+    // slotted-page fields are all zero, so a record mutation would grow the
+    // heap from offset 0 straight through the header. This only arises when
+    // the base image was lost (e.g. dropped for repair) after the format
+    // record retired into it — the page is unrecoverable from local state.
+    return Status::Corruption("redo apply to unformatted page");
+  }
   Status s;
   switch (record.op) {
     case RedoOp::kFormatPage: {

@@ -52,13 +52,25 @@ SimDuration Network::PropagationDelay(NodeId from, NodeId to) {
 
 void Network::Send(NodeId from, NodeId to, uint16_t type,
                    std::string payload) {
+  SendImpl(from, to, type, std::move(payload), nullptr);
+}
+
+void Network::Send(NodeId from, NodeId to, uint16_t type, std::string header,
+                   std::shared_ptr<const std::string> body) {
+  SendImpl(from, to, type, std::move(header), std::move(body));
+}
+
+void Network::SendImpl(NodeId from, NodeId to, uint16_t type,
+                       std::string header,
+                       std::shared_ptr<const std::string> body) {
   if (from >= handlers_.size()) Register(from, nullptr);
   if (to >= handlers_.size()) Register(to, nullptr);
 
+  const size_t wire_bytes = header.size() + (body ? body->size() : 0);
   NetStats& s = stats_[from];
   s.messages_sent++;
-  s.bytes_sent += payload.size();
-  s.packets_sent += 1 + payload.size() / options_.mtu_bytes;
+  s.bytes_sent += wire_bytes;
+  s.packets_sent += 1 + wire_bytes / options_.mtu_bytes;
 
   // NIC serialization: a sender transmits one message at a time at the NIC's
   // line rate; concurrent sends queue behind each other. This happens before
@@ -67,7 +79,7 @@ void Network::Send(NodeId from, NodeId to, uint16_t type,
   // sender free bandwidth.
   SimTime start = std::max(loop_->now(), nic_busy_until_[from]);
   auto transmit = static_cast<SimDuration>(
-      static_cast<double>(payload.size()) / options_.node_bandwidth_bps * 1e6);
+      static_cast<double>(wire_bytes) / options_.node_bandwidth_bps * 1e6);
   nic_busy_until_[from] = start + transmit;
 
   if (!Reachable(from, to) || rng_.Bernoulli(drop_probability_)) {
@@ -81,17 +93,21 @@ void Network::Send(NodeId from, NodeId to, uint16_t type,
   msg.from = from;
   msg.to = to;
   msg.type = type;
-  msg.payload = std::move(payload);
+  msg.payload = std::move(header);
   msg.sent_at = loop_->now();
 
-  loop_->ScheduleAt(deliver_at, [this, msg = std::move(msg)]() mutable {
-    // Re-check reachability at delivery time: a crash while the message was
-    // in flight loses it.
-    if (!Reachable(msg.from, msg.to)) return;
-    if (msg.to >= handlers_.size() || !handlers_[msg.to]) return;
-    stats_[msg.to].messages_received++;
-    handlers_[msg.to](msg);
-  });
+  loop_->ScheduleAt(
+      deliver_at, [this, msg = std::move(msg), body = std::move(body)]() mutable {
+        // Re-check reachability at delivery time: a crash while the message
+        // was in flight loses it.
+        if (!Reachable(msg.from, msg.to)) return;
+        if (msg.to >= handlers_.size() || !handlers_[msg.to]) return;
+        // Materialize the shared body into the receiver's copy (a memcpy at
+        // delivery — the sender never re-serialized it).
+        if (body) msg.payload.append(*body);
+        stats_[msg.to].messages_received++;
+        handlers_[msg.to](msg);
+      });
 }
 
 void Network::SetNodeDown(NodeId node, bool down) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -60,6 +61,15 @@ class Network {
   /// only through their own timeouts, as in the real system).
   void Send(NodeId from, NodeId to, uint16_t type, std::string payload);
 
+  /// Shared-payload variant for fan-out: the refcounted `body` is shared by
+  /// every in-flight copy (the sender serializes it once), while the small
+  /// per-destination `header` is owned per message. Receivers see a single
+  /// contiguous payload of header + body, byte-identical to the plain Send —
+  /// only the sender-side cost model changes (no per-replica re-encode).
+  /// Byte/packet accounting covers header + body, as on a real wire.
+  void Send(NodeId from, NodeId to, uint16_t type, std::string header,
+            std::shared_ptr<const std::string> body);
+
   // --- Fault injection ---------------------------------------------------
   void SetNodeDown(NodeId node, bool down);
   bool IsNodeDown(NodeId node) const { return down_nodes_.count(node) > 0; }
@@ -81,6 +91,8 @@ class Network {
   const FabricOptions& options() const { return options_; }
 
  private:
+  void SendImpl(NodeId from, NodeId to, uint16_t type, std::string header,
+                std::shared_ptr<const std::string> body);
   bool Reachable(NodeId a, NodeId b) const;
   SimDuration PropagationDelay(NodeId from, NodeId to);
   double LatencyFactor(NodeId n) const;

@@ -19,6 +19,16 @@ bool Segment::AddRecord(const LogRecord& record) {
   chain_[record.prev_pg_lsn] = record.lsn;
   records_by_page_[record.page_id].insert(record.lsn);
   if (record.lsn > max_lsn_) max_lsn_ = record.lsn;
+  // A record above the cached entry's build point is picked up by partial
+  // replay; one at or below it (late gossip filling a gap) means the cached
+  // image was built without it — drop the entry.
+  if (!page_cache_.empty()) {
+    auto cit = page_cache_.find(record.page_id);
+    if (cit != page_cache_.end() && record.lsn <= cit->second.built_lsn) {
+      cache_lru_.erase(cit->second.stamp);
+      page_cache_.erase(cit);
+    }
+  }
   AdvanceScl();
   return true;
 }
@@ -77,6 +87,16 @@ size_t Segment::CoalesceStep(size_t max_records) {
   while (it != hot_log_.end() && it->first <= limit && applied < max_records) {
     const LogRecord& rec = it->second;
     Page* page = BasePage(rec.page_id);
+    if (!page->IsFormatted() && rec.op != RedoOp::kFormatPage) {
+      // The page's base image was dropped for repair after its format
+      // record retired into it: this record cannot apply locally. Hold the
+      // materialization frontier here until a peer copy is restored (and
+      // drop the unformatted placeholder BasePage just created — an empty
+      // entry is indistinguishable from a missing one, and reads must keep
+      // treating the page as lost).
+      base_pages_.erase(rec.page_id);
+      break;
+    }
     Status s = LogApplicator::Apply(rec, page);
     AURORA_CHECK(s.ok(), "coalesce apply failed (non-deterministic redo?)");
     page->UpdateCrc();
@@ -98,6 +118,47 @@ Result<Page> Segment::GetPageAsOf(PageId page, Lsn read_point) const {
   if (read_point < applied_lsn_) {
     return Status::Stale("read point below materialized floor");
   }
+
+  const bool cache_on = CacheEnabled();
+  bool historical = false;  // read point below the cached version: bypass
+  if (cache_on) {
+    auto cit = page_cache_.find(page);
+    if (cit != page_cache_.end()) {
+      CacheEntry& entry = cit->second;
+      if (read_point >= entry.built_lsn) {
+        // Any records for this page in (built_lsn, read_point]?
+        auto recs_it = records_by_page_.find(page);
+        auto next = recs_it == records_by_page_.end()
+                        ? std::set<Lsn>::const_iterator()
+                        : recs_it->second.upper_bound(entry.built_lsn);
+        bool newer = recs_it != records_by_page_.end() &&
+                     next != recs_it->second.end() && *next <= read_point;
+        if (!newer) {
+          ++cache_stats_.hits;
+          CacheTouch(&entry);
+          return entry.image;
+        }
+        // Partial hit: replay only the suffix on top of the cached image.
+        // Redo application is deterministic, so this yields byte-identical
+        // results to a full rebuild (the cached image already reflects
+        // everything <= built_lsn).
+        Page result = entry.image;
+        for (auto it = next; it != recs_it->second.end() && *it <= read_point;
+             ++it) {
+          const LogRecord* rec = RecordAt(*it);
+          if (rec == nullptr) continue;  // already in the base image
+          Status s = LogApplicator::Apply(*rec, &result);
+          if (!s.ok()) return s;
+        }
+        result.UpdateCrc();
+        ++cache_stats_.partial_hits;
+        CacheInsert(page, result, read_point);
+        return result;
+      }
+      historical = true;
+    }
+  }
+
   Page result(page_size_);
   auto base_it = base_pages_.find(page);
   if (base_it != base_pages_.end()) {
@@ -119,7 +180,68 @@ Result<Page> Segment::GetPageAsOf(PageId page, Lsn read_point) const {
     return Status::NotFound("page never written");
   }
   result.UpdateCrc();
+  if (cache_on) {
+    ++cache_stats_.misses;
+    // Historical reads must not displace the newer cached version.
+    if (!historical) CacheInsert(page, result, read_point);
+  }
   return result;
+}
+
+void Segment::set_page_cache_budget(uint64_t bytes) {
+  cache_budget_bytes_ = bytes;
+  if (!CacheEnabled()) {
+    CacheClear();
+    return;
+  }
+  while (!page_cache_.empty() &&
+         page_cache_.size() * page_size_ > cache_budget_bytes_) {
+    auto oldest = cache_lru_.begin();
+    page_cache_.erase(oldest->second);
+    cache_lru_.erase(oldest);
+    ++cache_stats_.evictions;
+  }
+}
+
+void Segment::CacheInsert(PageId page, const Page& image,
+                          Lsn built_lsn) const {
+  auto it = page_cache_.find(page);
+  if (it != page_cache_.end()) {
+    it->second.image = image;
+    it->second.built_lsn = built_lsn;
+    CacheTouch(&it->second);
+    return;
+  }
+  // Evict to fit the new entry under the byte budget (LRU order).
+  while (!page_cache_.empty() &&
+         (page_cache_.size() + 1) * page_size_ > cache_budget_bytes_) {
+    auto oldest = cache_lru_.begin();
+    page_cache_.erase(oldest->second);
+    cache_lru_.erase(oldest);
+    ++cache_stats_.evictions;
+  }
+  uint64_t stamp = ++cache_clock_;
+  page_cache_.emplace(page, CacheEntry{image, built_lsn, stamp});
+  cache_lru_.emplace(stamp, page);
+}
+
+void Segment::CacheTouch(CacheEntry* entry) const {
+  auto node = cache_lru_.extract(entry->stamp);
+  entry->stamp = ++cache_clock_;
+  node.key() = entry->stamp;
+  cache_lru_.insert(std::move(node));
+}
+
+void Segment::CacheErase(PageId page) {
+  auto it = page_cache_.find(page);
+  if (it == page_cache_.end()) return;
+  cache_lru_.erase(it->second.stamp);
+  page_cache_.erase(it);
+}
+
+void Segment::CacheClear() {
+  page_cache_.clear();
+  cache_lru_.clear();
 }
 
 size_t Segment::GarbageCollect() {
@@ -133,6 +255,27 @@ size_t Segment::GarbageCollect() {
     if (page_it != records_by_page_.end()) {
       page_it->second.erase(rec.lsn);
       if (page_it->second.empty()) records_by_page_.erase(page_it);
+    }
+    // Collecting this record can strand a cached image of its page:
+    // (a) if the image predates the record (built_lsn < lsn), a later
+    //     partial replay could no longer find it in the hot log and would
+    //     serve the page without it (the full rebuild has it via the base);
+    // (b) if the page's base image is gone (dropped for repair, awaiting a
+    //     peer copy), this record was the only remaining source of its
+    //     data, and a surviving image would outlive the segment's own
+    //     knowledge. Reads must degrade exactly as without the cache.
+    // Entries for pages untouched by this collection stay valid: their
+    // images already reflect everything the hot log is forgetting.
+    if (!page_cache_.empty()) {
+      auto cit = page_cache_.find(rec.page_id);
+      if (cit != page_cache_.end()) {
+        auto base_it = base_pages_.find(rec.page_id);
+        const bool base_lost = base_it == base_pages_.end() ||
+                               !base_it->second.IsFormatted();
+        if (base_lost || cit->second.built_lsn < rec.lsn) {
+          CacheErase(rec.page_id);
+        }
+      }
     }
     it = hot_log_.erase(it);
     ++collected;
@@ -161,6 +304,11 @@ Status Segment::Truncate(Lsn above, Epoch epoch) {
   if (scl_ > above) scl_ = above;
   if (max_lsn_ > above) max_lsn_ = above;
   if (backup_lsn_ > above) backup_lsn_ = above;
+  // Cached images built beyond the truncation point contain records that no
+  // longer exist.
+  if (!page_cache_.empty()) {
+    CacheEraseIf([above](const CacheEntry& e) { return e.built_lsn > above; });
+  }
   // The chain may now extend again from a lower point (it shouldn't, but
   // recompute defensively).
   AdvanceScl();
@@ -181,16 +329,23 @@ size_t Segment::ScrubPages() {
 void Segment::DropPageForRepair(PageId page) {
   base_pages_.erase(page);
   corrupt_pages_.erase(page);
+  CacheErase(page);
 }
 
 void Segment::RestoreBasePage(PageId page, Page healthy) {
   corrupt_pages_.erase(page);
   base_pages_.insert_or_assign(page, std::move(healthy));
+  // The installed copy may be ahead of what the cached image was built
+  // against; rebuild from the fresh base on the next read.
+  CacheErase(page);
 }
 
 void Segment::CorruptBasePageForTesting(PageId page) {
   auto it = base_pages_.find(page);
   if (it != base_pages_.end()) it->second.CorruptForTesting(100);
+  // Keep reads faithful to the (now corrupt) base image so scrub/repair
+  // tests observe the corruption rather than a cached clean copy.
+  CacheErase(page);
 }
 
 std::vector<LogRecord> Segment::UnbackedRecords(size_t max) const {
@@ -240,6 +395,7 @@ Status Segment::DeserializeFrom(Slice input) {
   chain_.clear();
   records_by_page_.clear();
   base_pages_.clear();
+  CacheClear();
   for (uint64_t i = 0; i < n_records; ++i) {
     LogRecord rec;
     Status s = LogRecord::DecodeFrom(&input, &rec);

@@ -16,6 +16,14 @@
 
 namespace aurora {
 
+/// Counters for the per-segment reconstructed-page cache.
+struct PageCacheStats {
+  uint64_t hits = 0;          // served straight from a cached image
+  uint64_t partial_hits = 0;  // cached image + replay of a short LSN suffix
+  uint64_t misses = 0;        // full rebuild from base page + hot log
+  uint64_t evictions = 0;     // LRU evictions under the byte budget
+};
+
 /// One segment replica: the durable state a storage node keeps for one
 /// protection group (§2.2, Figure 4). Pure state machine — all timing
 /// (disk persistence, gossip cadence, scrubbing) lives in StorageNode.
@@ -114,6 +122,20 @@ class Segment {
   /// Number of materialized base pages.
   size_t num_pages() const { return base_pages_.size(); }
 
+  // --- Reconstruction cache -------------------------------------------------
+  /// Byte budget for the reconstructed-page cache consulted by GetPageAsOf.
+  /// The cache is "simply a cache of the log application" (§4.2.3): each
+  /// entry is a page image tagged with the LSN through which it was built,
+  /// so a read at the same (or a newer, record-free) point skips the base
+  /// copy + replay + CRC entirely, and a newer point replays only the LSN
+  /// suffix. A budget below one page size disables caching; shrinking the
+  /// budget evicts immediately.
+  void set_page_cache_budget(uint64_t bytes);
+  uint64_t page_cache_budget() const { return cache_budget_bytes_; }
+  /// Current cache footprint (whole-page granularity).
+  uint64_t page_cache_bytes() const { return page_cache_.size() * page_size_; }
+  const PageCacheStats& page_cache_stats() const { return cache_stats_; }
+
   // --- GC / truncation / scrub ----------------------------------------------
   /// Drops hot-log records that are both applied to base pages and below the
   /// PGMRPL (Figure 4 step 7). Returns how many records were collected.
@@ -157,6 +179,33 @@ class Segment {
   void AdvanceScl();
   const LogRecord* RecordAt(Lsn lsn) const;
 
+  /// A reconstructed page image valid through built_lsn: it reflects every
+  /// record of the page with LSN <= built_lsn and nothing above. Mutable
+  /// state because GetPageAsOf is logically const.
+  struct CacheEntry {
+    Page image;
+    Lsn built_lsn;
+    uint64_t stamp;  // LRU clock value; key into cache_lru_
+  };
+  bool CacheEnabled() const { return cache_budget_bytes_ >= page_size_; }
+  void CacheInsert(PageId page, const Page& image, Lsn built_lsn) const;
+  void CacheTouch(CacheEntry* entry) const;
+  void CacheErase(PageId page);
+  void CacheClear();
+  /// Drops entries whose validity predicate fails (e.g. after truncation or
+  /// GC moved the window they were built against).
+  template <typename Pred>
+  void CacheEraseIf(Pred pred) {
+    for (auto it = page_cache_.begin(); it != page_cache_.end();) {
+      if (pred(it->second)) {
+        cache_lru_.erase(it->second.stamp);
+        it = page_cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   PgId pg_;
   size_t page_size_;
 
@@ -181,6 +230,12 @@ class Segment {
   Epoch epoch_ = 0;
 
   std::set<PageId> corrupt_pages_;
+
+  uint64_t cache_budget_bytes_ = 0;  // 0 = cache disabled
+  mutable std::map<PageId, CacheEntry> page_cache_;
+  mutable std::map<uint64_t, PageId> cache_lru_;  // stamp -> page, oldest first
+  mutable uint64_t cache_clock_ = 0;
+  mutable PageCacheStats cache_stats_;
 };
 
 }  // namespace aurora

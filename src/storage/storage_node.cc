@@ -23,6 +23,7 @@ StorageNode::StorageNode(sim::EventLoop* loop, sim::Network* network,
 
 void StorageNode::CreateSegment(PgId pg, size_t page_size) {
   auto seg = std::make_unique<Segment>(pg, page_size);
+  seg->set_page_cache_budget(options_.page_cache_budget_bytes);
   if (control_plane_->page_synthesizer()) {
     seg->set_page_synthesizer(control_plane_->page_synthesizer());
   }
@@ -51,6 +52,15 @@ const Segment* StorageNode::segment(PgId pg) const {
 void StorageNode::Crash() {
   crashed_ = true;
   ++generation_;
+  // Cancel the background timers outright (same pattern as
+  // Database::Crash()): the generation guard already neutralizes them, but
+  // leaving them queued grows the event loop's pending set on every
+  // crash/restart cycle.
+  loop_->Cancel(gossip_timer_);
+  loop_->Cancel(coalesce_timer_);
+  loop_->Cancel(gc_timer_);
+  loop_->Cancel(scrub_timer_);
+  loop_->Cancel(backup_timer_);
 }
 
 void StorageNode::Restart() {
@@ -74,6 +84,24 @@ uint64_t StorageNode::SegmentBytes(PgId pg) const {
   return seg ? seg->ApproximateBytes() : 0;
 }
 
+PageCacheStats StorageNode::PageCacheTotals() const {
+  PageCacheStats total;
+  for (const auto& [pg, seg] : segments_) {
+    const PageCacheStats& s = seg->page_cache_stats();
+    total.hits += s.hits;
+    total.partial_hits += s.partial_hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+  }
+  return total;
+}
+
+uint64_t StorageNode::PageCacheBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [pg, seg] : segments_) bytes += seg->page_cache_bytes();
+  return bytes;
+}
+
 bool StorageNode::Busy() const {
   return disk_.backlog() > options_.background_backlog_limit;
 }
@@ -83,21 +111,29 @@ void StorageNode::ScheduleBackgroundTasks() {
   // Stagger the first firing of each task so a fleet of nodes doesn't beat
   // in lockstep.
   auto stagger = [this](SimDuration d) { return rng_.Uniform(d) + 1; };
-  loop_->Schedule(stagger(options_.gossip_interval), [this, gen] {
-    if (gen == generation_ && !crashed_) GossipTick();
-  });
-  loop_->Schedule(stagger(options_.coalesce_interval), [this, gen] {
-    if (gen == generation_ && !crashed_) CoalesceTick();
-  });
-  loop_->Schedule(stagger(options_.gc_interval), [this, gen] {
+  gossip_timer_ = loop_->Schedule(stagger(options_.gossip_interval),
+                                  [this, gen] {
+                                    if (gen == generation_ && !crashed_)
+                                      GossipTick();
+                                  });
+  coalesce_timer_ = loop_->Schedule(stagger(options_.coalesce_interval),
+                                    [this, gen] {
+                                      if (gen == generation_ && !crashed_)
+                                        CoalesceTick();
+                                    });
+  gc_timer_ = loop_->Schedule(stagger(options_.gc_interval), [this, gen] {
     if (gen == generation_ && !crashed_) GcTick();
   });
-  loop_->Schedule(stagger(options_.scrub_interval), [this, gen] {
-    if (gen == generation_ && !crashed_) ScrubTick();
-  });
-  loop_->Schedule(stagger(options_.backup_interval), [this, gen] {
-    if (gen == generation_ && !crashed_) BackupTick();
-  });
+  scrub_timer_ = loop_->Schedule(stagger(options_.scrub_interval),
+                                 [this, gen] {
+                                   if (gen == generation_ && !crashed_)
+                                     ScrubTick();
+                                 });
+  backup_timer_ = loop_->Schedule(stagger(options_.backup_interval),
+                                  [this, gen] {
+                                    if (gen == generation_ && !crashed_)
+                                      BackupTick();
+                                  });
 }
 
 void StorageNode::HandleMessage(const sim::Message& msg) {
@@ -264,7 +300,7 @@ void StorageNode::HandlePgmrpl(const sim::Message& msg) {
 
 void StorageNode::GossipTick() {
   const uint64_t gen = generation_;
-  loop_->Schedule(options_.gossip_interval, [this, gen] {
+  gossip_timer_ = loop_->Schedule(options_.gossip_interval, [this, gen] {
     if (gen == generation_ && !crashed_) GossipTick();
   });
   if (Busy()) {
@@ -336,7 +372,7 @@ void StorageNode::HandleGossipPush(const sim::Message& msg) {
 
 void StorageNode::CoalesceTick() {
   const uint64_t gen = generation_;
-  loop_->Schedule(options_.coalesce_interval, [this, gen] {
+  coalesce_timer_ = loop_->Schedule(options_.coalesce_interval, [this, gen] {
     if (gen == generation_ && !crashed_) CoalesceTick();
   });
   if (Busy()) {
@@ -359,7 +395,7 @@ void StorageNode::CoalesceTick() {
 
 void StorageNode::GcTick() {
   const uint64_t gen = generation_;
-  loop_->Schedule(options_.gc_interval, [this, gen] {
+  gc_timer_ = loop_->Schedule(options_.gc_interval, [this, gen] {
     if (gen == generation_ && !crashed_) GcTick();
   });
   if (Busy()) {
@@ -373,7 +409,7 @@ void StorageNode::GcTick() {
 
 void StorageNode::ScrubTick() {
   const uint64_t gen = generation_;
-  loop_->Schedule(options_.scrub_interval, [this, gen] {
+  scrub_timer_ = loop_->Schedule(options_.scrub_interval, [this, gen] {
     if (gen == generation_ && !crashed_) ScrubTick();
   });
   if (Busy()) {
@@ -414,7 +450,7 @@ void StorageNode::ScrubTick() {
 
 void StorageNode::BackupTick() {
   const uint64_t gen = generation_;
-  loop_->Schedule(options_.backup_interval, [this, gen] {
+  backup_timer_ = loop_->Schedule(options_.backup_interval, [this, gen] {
     if (gen == generation_ && !crashed_) BackupTick();
   });
   if (Busy() || s3_ == nullptr) {
@@ -483,6 +519,7 @@ void StorageNode::HandleSegmentStateResp(const sim::Message& msg) {
     if (gen != generation_ || crashed_ || !s.ok()) return;
     auto seg = std::make_unique<Segment>(resp.pg, Page::kMinPageSize);
     if (!seg->DeserializeFrom(resp.state).ok()) return;
+    seg->set_page_cache_budget(options_.page_cache_budget_bytes);
     segments_[resp.pg] = std::move(seg);
     if (segment_installed_cb_) segment_installed_cb_(resp.pg);
   });

@@ -34,6 +34,10 @@ struct StorageNodeOptions {
   /// Ack batches without waiting for the disk (testing only; default off —
   /// the paper requires persistence before acknowledgement).
   bool unsafe_ack_before_persist = false;
+  /// Per-segment byte budget for the reconstructed-page cache (§4.2.3:
+  /// materialization is "simply a cache of the log application"). Applied to
+  /// every segment this node creates or installs; 0 disables caching.
+  uint64_t page_cache_budget_bytes = 4 * 1024 * 1024;
 };
 
 /// Counters for one storage host.
@@ -98,6 +102,11 @@ class StorageNode {
   const StorageNodeStats& stats() const { return stats_; }
   sim::Disk* disk() { return &disk_; }
 
+  /// Reconstruction-cache counters summed across hosted segments.
+  PageCacheStats PageCacheTotals() const;
+  /// Current reconstruction-cache footprint across hosted segments.
+  uint64_t PageCacheBytes() const;
+
   /// For the repair manager: serialized segment state bytes.
   uint64_t SegmentBytes(PgId pg) const;
 
@@ -139,6 +148,14 @@ class StorageNode {
   std::map<PgId, std::unique_ptr<Segment>> segments_;
   std::function<void(PgId)> segment_installed_cb_;
   StorageNodeStats stats_;
+  /// Outstanding background timers, cancelled on Crash() so repeated
+  /// crash/restart cycles don't leak dead events in the loop (the
+  /// generation guard already makes them no-ops).
+  sim::EventId gossip_timer_ = 0;
+  sim::EventId coalesce_timer_ = 0;
+  sim::EventId gc_timer_ = 0;
+  sim::EventId scrub_timer_ = 0;
+  sim::EventId backup_timer_ = 0;
   bool crashed_ = false;
   /// Bumped on every crash; stale async callbacks (disk completions from
   /// before the crash) check it and become no-ops.

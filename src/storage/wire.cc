@@ -11,8 +11,19 @@ Status Malformed(const char* what) {
 }  // namespace
 
 void WriteBatchMsg::EncodeTo(std::string* dst) const {
+  EncodeHeaderTo(dst);
+  EncodeBody(epoch, batch_seq, vdl_hint, pgmrpl_hint, records, dst);
+}
+
+void WriteBatchMsg::EncodeHeaderTo(std::string* dst) const {
   PutVarint32(dst, pg);
   dst->push_back(static_cast<char>(replica));
+}
+
+void WriteBatchMsg::EncodeBody(Epoch epoch, uint64_t batch_seq, Lsn vdl_hint,
+                               Lsn pgmrpl_hint,
+                               const std::vector<LogRecord>& records,
+                               std::string* dst) {
   PutVarint64(dst, epoch);
   PutVarint64(dst, batch_seq);
   PutVarint64(dst, vdl_hint);

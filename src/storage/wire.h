@@ -61,6 +61,17 @@ struct WriteBatchMsg {
 
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice input, WriteBatchMsg* out);
+
+  /// Split encoding for single-encode fan-out: the header carries the only
+  /// per-replica field (pg + replica index) while the body — epoch, seq,
+  /// watermark hints, and the record blob — is identical across the 6
+  /// replicas and every retry, so the writer encodes it once and shares the
+  /// buffer. Concatenating header + body yields exactly the EncodeTo bytes;
+  /// DecodeFrom is unchanged.
+  void EncodeHeaderTo(std::string* dst) const;
+  static void EncodeBody(Epoch epoch, uint64_t batch_seq, Lsn vdl_hint,
+                         Lsn pgmrpl_hint, const std::vector<LogRecord>& records,
+                         std::string* dst);
 };
 
 /// Segment replica -> writer: batch persisted on disk (Figure 4 step 2).

@@ -99,6 +99,60 @@ TEST_F(AuroraClusterTest, OnlyLogRecordsCrossTheNetworkToStorage) {
   EXPECT_LT(writer_net.bytes_sent, bytes_if_pages / 4);
 }
 
+TEST_F(AuroraClusterTest, WriteBatchBodyEncodedOncePerAttempt) {
+  const EngineStats& s = cluster_.writer()->stats();
+  const uint64_t saved_after_bootstrap = s.batch_encode_bytes_saved;
+  ASSERT_TRUE(cluster_.PutSync(table_, "k1", "v1").ok());
+  ASSERT_TRUE(cluster_.PutSync(table_, "k2", "v2").ok());
+  // Every batch attempt serializes the body once and shares it across the
+  // un-acked replicas, so with all six replicas healthy each attempt saves
+  // exactly (kReplicasPerPg - 1) re-encodes of the body.
+  const uint64_t saved = s.batch_encode_bytes_saved - saved_after_bootstrap;
+  EXPECT_GT(saved, 0u);
+  EXPECT_EQ(saved % (kReplicasPerPg - 1), 0u);
+  // The metric is exported under the engine namespace.
+  MetricsSnapshot snap = cluster_.metrics()->Snapshot();
+  auto it = snap.counters.find("engine.writer.batch_encode_bytes_saved");
+  ASSERT_NE(it, snap.counters.end());
+  EXPECT_EQ(it->second, s.batch_encode_bytes_saved);
+}
+
+TEST_F(AuroraClusterTest, SteadyStateReadsHitThePageCache) {
+  // A tiny buffer pool forces evictions, so re-reads fetch the same pages
+  // from storage over and over — the reconstruction cache should serve the
+  // repeats without replaying the log.
+  ClusterOptions o = SmallCluster();
+  o.engine.buffer_pool_pages = 16;
+  AuroraCluster small(o);
+  ASSERT_TRUE(small.BootstrapSync().ok());
+  ASSERT_TRUE(small.CreateTableSync("t").ok());
+  PageId table = *small.TableAnchorSync("t");
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(small.PutSync(table, Key(i), std::string(200, 'x')).ok());
+  }
+  small.RunFor(Seconds(1));
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < n; ++i) {
+      auto got = small.GetSync(table, Key(i));
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+    }
+  }
+  PageCacheStats fleet;
+  for (size_t i = 0; i < small.num_storage_nodes(); ++i) {
+    PageCacheStats s = small.storage_node(i)->PageCacheTotals();
+    fleet.hits += s.hits;
+    fleet.partial_hits += s.partial_hits;
+    fleet.misses += s.misses;
+  }
+  EXPECT_GT(fleet.hits + fleet.partial_hits, 0u);
+  // And the fleet-wide metric is exported.
+  MetricsSnapshot snap = small.metrics()->Snapshot();
+  auto it = snap.counters.find("storage.page_cache.hits");
+  ASSERT_NE(it, snap.counters.end());
+  EXPECT_EQ(it->second, fleet.hits);
+}
+
 TEST_F(AuroraClusterTest, TransactionRollbackRestoresOldValues) {
   ASSERT_TRUE(cluster_.PutSync(table_, "a", "original").ok());
   TxnId txn = cluster_.writer()->Begin();

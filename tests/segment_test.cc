@@ -311,6 +311,37 @@ TEST(WireTest, AllMessageTypesRoundTrip) {
   }
 }
 
+TEST(WireTest, WriteBatchHeaderPlusBodyMatchesEncodeTo) {
+  // The single-encode fan-out path splits the message at the per-replica
+  // boundary; concatenating the two halves must reproduce EncodeTo exactly
+  // so receivers decode with the unchanged DecodeFrom.
+  WriteBatchMsg m;
+  m.pg = 3;
+  m.replica = 5;
+  m.epoch = 7;
+  m.batch_seq = 42;
+  m.vdl_hint = 1000;
+  m.pgmrpl_hint = 900;
+  m.records = MakeChain(3);
+  std::string whole;
+  m.EncodeTo(&whole);
+  std::string split;
+  m.EncodeHeaderTo(&split);
+  WriteBatchMsg::EncodeBody(m.epoch, m.batch_seq, m.vdl_hint, m.pgmrpl_hint,
+                            m.records, &split);
+  EXPECT_EQ(split, whole);
+  WriteBatchMsg out;
+  ASSERT_TRUE(WriteBatchMsg::DecodeFrom(split, &out).ok());
+  EXPECT_EQ(out.pg, m.pg);
+  EXPECT_EQ(out.replica, m.replica);
+  EXPECT_EQ(out.epoch, m.epoch);
+  EXPECT_EQ(out.batch_seq, m.batch_seq);
+  EXPECT_EQ(out.vdl_hint, m.vdl_hint);
+  EXPECT_EQ(out.pgmrpl_hint, m.pgmrpl_hint);
+  ASSERT_EQ(out.records.size(), 3u);
+  EXPECT_EQ(out.records[2].lsn, m.records[2].lsn);
+}
+
 TEST(WireTest, TruncatedMessagesRejected) {
   WriteBatchMsg m;
   m.pg = 1;

@@ -107,6 +107,37 @@ TEST_F(NetworkTest, DeliversMessages) {
   EXPECT_EQ(at_b_[0].from, a_);
 }
 
+TEST_F(NetworkTest, SharedPayloadSendDeliversHeaderPlusBodyBytes) {
+  std::shared_ptr<const std::string> body =
+      std::make_shared<std::string>("0123456789");
+  net_.Send(a_, b_, 7, "hdr-", body);
+  net_.Send(a_, c_, 7, "HDR-", body);
+  net_.Send(a_, b_, 7, std::string("hdr-0123456789"));
+  loop_.Run();
+  // Receivers see one contiguous payload, identical to the plain Send.
+  ASSERT_EQ(at_b_.size(), 2u);
+  EXPECT_EQ(at_b_[0].payload, "hdr-0123456789");
+  EXPECT_EQ(at_b_[1].payload, "hdr-0123456789");
+  ASSERT_EQ(at_c_.size(), 1u);
+  EXPECT_EQ(at_c_[0].payload, "HDR-0123456789");
+  // Byte accounting covers header + body for every copy, as on a real wire.
+  EXPECT_EQ(net_.stats_of(a_).bytes_sent, 3 * 14u);
+  EXPECT_EQ(net_.stats_of(a_).messages_sent, 3u);
+}
+
+TEST_F(NetworkTest, SharedPayloadSendToDownNodeIsDropped) {
+  std::shared_ptr<const std::string> body =
+      std::make_shared<std::string>("shared");
+  net_.SetNodeDown(b_, true);
+  net_.Send(a_, b_, 0, "x", body);
+  net_.Send(a_, c_, 0, "x", body);
+  loop_.Run();
+  EXPECT_TRUE(at_b_.empty());
+  ASSERT_EQ(at_c_.size(), 1u);
+  EXPECT_EQ(at_c_[0].payload, "xshared");
+  EXPECT_EQ(net_.stats_of(a_).messages_dropped, 1u);
+}
+
 TEST_F(NetworkTest, CrossAzSlowerThanIntraAz) {
   SimTime t0 = loop_.now();
   SimTime intra_done = 0, cross_done = 0;
