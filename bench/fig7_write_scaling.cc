@@ -35,6 +35,7 @@ void Run() {
 
   BenchReport report("fig7_write_scaling");
   AuroraRun last_aurora;  // largest instance, kept alive for the dump
+  MysqlRun last_mysql;
 
   printf("%-12s %6s %17s %17s\n", "instance", "vcpus", "aurora writes/s",
          "mysql writes/s");
@@ -63,10 +64,15 @@ void Run() {
     report.Result("mysql." + key + ".writes_per_sec",
                   mysql.results.writes_per_sec());
     last_aurora = std::move(aurora);
+    last_mysql = std::move(mysql);
   }
-  // Full cluster dump for the largest instance: carries the write fan-out
-  // accounting (engine.writer.batch_encode_bytes_saved, network totals).
+  // Full cluster dumps for the largest instance: the Aurora side carries
+  // the write fan-out accounting (engine.writer.batch_encode_bytes_saved,
+  // network totals), the MySQL side the chain-write counters
+  // (engine.mysql.{wal_flushes,dwb_writes,binlog_writes}) — symmetric, so
+  // the scaling gap can be decomposed from the JSON alone.
   report.AttachCluster("aurora", last_aurora.cluster.get());
+  report.AttachRegistry("mysql", last_mysql.cluster->metrics());
   report.Write();
 
   printf("\nExpected shape: Aurora scales with vCPUs (commits are\n");

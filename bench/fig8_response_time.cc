@@ -43,6 +43,18 @@ void Run() {
   printf("%-22s %20.2f\n", "Aurora (after)", after_ms);
   printf("\nImprovement: %.1fx   (paper: 15 ms -> 5.5 ms, ~2.7x)\n",
          after_ms > 0 ? before_ms / after_ms : 0);
+
+  BenchReport report("fig8_response_time");
+  report.Result("mysql.mean_response_ms", before_ms);
+  report.Result("aurora.mean_response_ms", after_ms);
+  report.Result("ratio.improvement", after_ms > 0 ? before_ms / after_ms : 0);
+  report.ResultHistogram("mysql.txn_latency_us",
+                         &before.results.txn_latency_us);
+  report.ResultHistogram("aurora.txn_latency_us",
+                         &after.results.txn_latency_us);
+  report.AttachCluster("aurora", after.cluster.get());
+  report.AttachRegistry("mysql", before.cluster->metrics());
+  report.Write();
 }
 
 }  // namespace

@@ -21,7 +21,7 @@ void BinlogReplica::HandleMessage(const sim::Message& msg) {
   if (msg.type != kMsgBinlogShip) return;
   // Wire: varint commit_time | statements ('P'|'D', varint table, lp key,
   // lp value) until exhausted.
-  Slice in(msg.payload);
+  Slice in(msg.payload());
   uint64_t commit_time;
   if (!GetVarint64(&in, &commit_time)) return;
   std::vector<Statement> stmts;

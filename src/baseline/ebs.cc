@@ -81,7 +81,7 @@ void EbsVolume::HandleServerMessage(const sim::Message& msg) {
   uint64_t op;
   EbsKind kind;
   Slice key, payload;
-  if (!Decode(msg.payload, &op, &kind, &key, &payload)) return;
+  if (!Decode(msg.payload(), &op, &kind, &key, &payload)) return;
   switch (kind) {
     case kWriteReq: {
       // Persist locally, then forward to the AZ-local mirror; the client is
@@ -134,7 +134,7 @@ void EbsVolume::HandleMirrorMessage(const sim::Message& msg) {
   uint64_t op;
   EbsKind kind;
   Slice key, payload;
-  if (!Decode(msg.payload, &op, &kind, &key, &payload)) return;
+  if (!Decode(msg.payload(), &op, &kind, &key, &payload)) return;
   if (kind != kMirrorCopy) return;
   std::string k = key.ToString();
   size_t n = payload.size();
@@ -149,7 +149,7 @@ void EbsVolume::HandleClientSide(const sim::Message& msg) {
   uint64_t op;
   EbsKind kind;
   Slice key, payload;
-  if (!Decode(msg.payload, &op, &kind, &key, &payload)) return;
+  if (!Decode(msg.payload(), &op, &kind, &key, &payload)) return;
   auto it = pending_.find(op);
   if (it == pending_.end()) return;
   PendingOp p = std::move(it->second);

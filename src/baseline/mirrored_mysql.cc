@@ -80,7 +80,7 @@ MirroredMySql::MirroredMySql(sim::EventLoop* loop, sim::Network* network,
     if (m.type != kMsgStandbyShip) return;
     uint64_t id;
     Slice key, bytes;
-    if (!DecodeShip(m.payload, &id, &key, &bytes)) return;
+    if (!DecodeShip(m.payload(), &id, &key, &bytes)) return;
     standby_ebs_->Write(nodes_.standby, key.ToString(), bytes.ToString(),
                         [this, id](Status) {
                           std::string ack;
@@ -106,7 +106,7 @@ void MirroredMySql::HandleMessage(const sim::Message& msg) {
       }
       break;
     case kMsgStandbyAck: {
-      Slice in(msg.payload);
+      Slice in(msg.payload());
       uint64_t id;
       if (!GetVarint64(&in, &id)) return;
       auto it = chain_ops_.find(id);
@@ -558,13 +558,18 @@ void MirroredMySql::Recover(std::function<void(Status)> done) {
           if (k >= first_key) keys->push_back(std::move(k));
         }
         auto records = std::make_shared<std::vector<LogRecord>>();
+        // Weak self-reference: each in-flight EBS read holds the strong one
+        // (same idiom as FinishRollback), so the chain frees itself when the
+        // scan completes instead of cycling forever.
         auto read_next = std::make_shared<std::function<void(size_t)>>();
-        *read_next = [this, keys, records, checkpoint, wal_floor, read_next,
+        std::weak_ptr<std::function<void(size_t)>> weak_next = read_next;
+        *read_next = [this, keys, records, checkpoint, wal_floor, weak_next,
                       done](size_t i) {
           if (i < keys->size()) {
             primary_ebs_->Read(
                 node_id_, (*keys)[i],
-                [this, keys, records, checkpoint, wal_floor, read_next, done,
+                [this, keys, records, checkpoint, wal_floor,
+                 next = weak_next.lock(), done,
                  i](Result<std::string> blob) {
                   if (blob.ok()) {
                     std::vector<LogRecord> batch;
@@ -576,7 +581,7 @@ void MirroredMySql::Recover(std::function<void(Status)> done) {
                       }
                     }
                   }
-                  (*read_next)(i + 1);
+                  if (next) (*next)(i + 1);
                 });
             return;
           }

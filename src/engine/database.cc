@@ -399,7 +399,7 @@ void Database::SendBatch(OutstandingBatch* batch) {
 
 void Database::HandleWriteAck(const sim::Message& msg) {
   WriteAckMsg ack;
-  if (!WriteAckMsg::DecodeFrom(msg.payload, &ack).ok()) return;
+  if (!WriteAckMsg::DecodeFrom(msg.payload(), &ack).ok()) return;
   const PgMembership& members = control_plane_->membership(ack.pg);
   if (ack.replica >= kReplicasPerPg ||
       members.nodes[ack.replica] != msg.from) {
@@ -595,7 +595,7 @@ void Database::IssuePageRead(uint64_t req_id) {
 
 void Database::HandleReadPageResp(const sim::Message& msg) {
   ReadPageRespMsg resp;
-  if (!ReadPageRespMsg::DecodeFrom(msg.payload, &resp).ok()) return;
+  if (!ReadPageRespMsg::DecodeFrom(msg.payload(), &resp).ok()) return;
   auto it = pending_reads_.find(resp.req_id);
   if (it == pending_reads_.end()) return;  // late duplicate
   PendingRead& pr = it->second;
@@ -1436,8 +1436,12 @@ void Database::ZeroDowntimePatch(SimDuration patch_time,
   // Wait for the instant with no active transactions (Figure 12): statements
   // of new transactions are held at the door, pre-pause transactions drain
   // at their next boundary.
+  // The stored callback holds itself only weakly; the scheduled retry event
+  // carries the strong reference. No self-cycle, so the closure (and `done`)
+  // is freed as soon as the wait ends.
   auto wait_quiet = std::make_shared<std::function<void()>>();
-  *wait_quiet = [this, gen, patch_time, done, wait_quiet]() {
+  std::weak_ptr<std::function<void()>> weak_wait = wait_quiet;
+  *wait_quiet = [this, gen, patch_time, done, weak_wait]() {
     if (gen != generation_) return;
     bool quiet = true;
     for (const auto& [id, t] : txns_) {
@@ -1447,7 +1451,9 @@ void Database::ZeroDowntimePatch(SimDuration patch_time,
       }
     }
     if (!quiet || !commit_queue_.empty()) {
-      loop_->Schedule(Millis(1), *wait_quiet);
+      loop_->Schedule(Millis(1), [next = weak_wait.lock()]() {
+        if (next) (*next)();
+      });
       return;
     }
     // Spool application state to local ephemeral storage, patch the
@@ -1496,14 +1502,17 @@ void Database::ReplicaShipTick() {
   last_shipped_vdl_ = vdl_;
   std::string payload;
   msg.EncodeTo(&payload);
+  // One encoded stream shared by every replica copy: the fan-out neither
+  // re-encodes nor re-copies the record blob per receiver.
+  auto body = std::make_shared<const std::string>(std::move(payload));
   for (sim::NodeId node : replicas_) {
-    network_->Send(node_id_, node, kMsgReplicaLogStream, payload);
+    network_->Send(node_id_, node, kMsgReplicaLogStream, std::string(), body);
   }
 }
 
 void Database::HandleReplicaReadPoint(const sim::Message& msg) {
   ReplicaReadPointMsg m;
-  if (!ReplicaReadPointMsg::DecodeFrom(msg.payload, &m).ok()) return;
+  if (!ReplicaReadPointMsg::DecodeFrom(msg.payload(), &m).ok()) return;
   replica_read_points_[msg.from] = m.read_point;
 }
 
@@ -1540,9 +1549,10 @@ void Database::RecoveryCollectInventories(std::shared_ptr<RecoveryState> rs) {
     req.pg = pg;
     std::string payload;
     req.EncodeTo(&payload);
+    auto body = std::make_shared<const std::string>(std::move(payload));
     const PgMembership& members = control_plane_->membership(pg);
     for (sim::NodeId node : members.nodes) {
-      network_->Send(node_id_, node, kMsgInventoryReq, payload);
+      network_->Send(node_id_, node, kMsgInventoryReq, std::string(), body);
     }
   }
   const uint64_t gen = generation_;
@@ -1554,7 +1564,7 @@ void Database::RecoveryCollectInventories(std::shared_ptr<RecoveryState> rs) {
 
 void Database::HandleInventoryResp(const sim::Message& msg) {
   InventoryRespMsg resp;
-  if (!InventoryRespMsg::DecodeFrom(msg.payload, &resp).ok()) return;
+  if (!InventoryRespMsg::DecodeFrom(msg.payload(), &resp).ok()) return;
   auto rs = recovery_;
   if (!rs || rs->phase != 1 || resp.req_id != rs->req_id) return;
   auto& entries = rs->union_entries[resp.pg];
@@ -1610,41 +1620,41 @@ void Database::RecoveryComputeAndTruncate(std::shared_ptr<RecoveryState> rs) {
   control_plane_->set_volume_epoch(rs->new_epoch);
   control_plane_->RecordTruncation(rs->new_epoch, vdl);
 
+  RecoveryResendTruncates(rs);
+}
+
+void Database::RecoveryResendTruncates(std::shared_ptr<RecoveryState> rs) {
   const size_t num_pgs = control_plane_->num_pgs();
-  const uint64_t gen = generation_;
-  auto send_truncates = [this, rs, num_pgs]() {
-    for (PgId pg = 0; pg < num_pgs; ++pg) {
-      if (rs->truncate_acks[pg].size() >=
-          static_cast<size_t>(options_.quorum.write_quorum)) {
-        continue;
-      }
-      TruncateReqMsg req;
-      req.req_id = rs->req_id;
-      req.pg = pg;
-      req.epoch = rs->new_epoch;
-      req.truncate_above = rs->new_vdl;
-      std::string payload;
-      req.EncodeTo(&payload);
-      const PgMembership& members = control_plane_->membership(pg);
-      for (sim::NodeId node : members.nodes) {
-        network_->Send(node_id_, node, kMsgTruncateReq, payload);
-      }
+  for (PgId pg = 0; pg < num_pgs; ++pg) {
+    if (rs->truncate_acks[pg].size() >=
+        static_cast<size_t>(options_.quorum.write_quorum)) {
+      continue;
     }
-  };
-  send_truncates();
+    TruncateReqMsg req;
+    req.req_id = rs->req_id;
+    req.pg = pg;
+    req.epoch = rs->new_epoch;
+    req.truncate_above = rs->new_vdl;
+    std::string payload;
+    req.EncodeTo(&payload);
+    // All six copies share one encoded request (zero-copy fan-out).
+    auto body = std::make_shared<const std::string>(std::move(payload));
+    const PgMembership& members = control_plane_->membership(pg);
+    for (sim::NodeId node : members.nodes) {
+      network_->Send(node_id_, node, kMsgTruncateReq, std::string(), body);
+    }
+  }
   // Periodic resend until every PG has a write quorum of truncate acks.
-  auto arm = std::make_shared<std::function<void()>>();
-  *arm = [this, gen, rs, send_truncates, arm]() {
+  const uint64_t gen = generation_;
+  rs->retry_event = loop_->Schedule(Millis(100), [this, gen, rs]() {
     if (gen != generation_ || recovery_ != rs || rs->phase != 2) return;
-    send_truncates();
-    rs->retry_event = loop_->Schedule(Millis(100), *arm);
-  };
-  rs->retry_event = loop_->Schedule(Millis(100), *arm);
+    RecoveryResendTruncates(rs);
+  });
 }
 
 void Database::HandleTruncateAck(const sim::Message& msg) {
   TruncateAckMsg ack;
-  if (!TruncateAckMsg::DecodeFrom(msg.payload, &ack).ok()) return;
+  if (!TruncateAckMsg::DecodeFrom(msg.payload(), &ack).ok()) return;
   auto rs = recovery_;
   if (!rs || rs->phase != 2 || ack.req_id != rs->req_id) return;
   if (ack.status_code != static_cast<uint8_t>(Status::Code::kOk)) return;

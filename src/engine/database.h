@@ -334,6 +334,11 @@ class Database : public WalSink, public PageProvider {
   void RecoveryCollectInventories(std::shared_ptr<RecoveryState> rs);
   void HandleInventoryResp(const sim::Message& msg);
   void RecoveryComputeAndTruncate(std::shared_ptr<RecoveryState> rs);
+  /// (Re)sends truncate requests to every PG lacking a write quorum of acks
+  /// and re-arms the retry timer. Plain member function instead of a
+  /// self-capturing closure so no shared_ptr cycle can keep the recovery
+  /// state (and everything it captures) alive forever.
+  void RecoveryResendTruncates(std::shared_ptr<RecoveryState> rs);
   void HandleTruncateAck(const sim::Message& msg);
   void RecoveryFinish(std::shared_ptr<RecoveryState> rs);
   void StartBackgroundUndo();

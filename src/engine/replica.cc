@@ -78,7 +78,7 @@ void ReadReplica::Restart() {
 
 void ReadReplica::HandleLogStream(const sim::Message& msg) {
   ReplicaStreamMsg stream;
-  if (!ReplicaStreamMsg::DecodeFrom(msg.payload, &stream).ok()) return;
+  if (!ReplicaStreamMsg::DecodeFrom(msg.payload(), &stream).ok()) return;
   if (stream.vdl > vdl_) vdl_ = stream.vdl;
   for (LogRecord& r : stream.records) {
     pending_stream_.push_back(std::move(r));
@@ -209,7 +209,7 @@ void ReadReplica::IssuePageRead(uint64_t req_id) {
 
 void ReadReplica::HandleReadPageResp(const sim::Message& msg) {
   ReadPageRespMsg resp;
-  if (!ReadPageRespMsg::DecodeFrom(msg.payload, &resp).ok()) return;
+  if (!ReadPageRespMsg::DecodeFrom(msg.payload(), &resp).ok()) return;
   auto it = pending_reads_.find(resp.req_id);
   if (it == pending_reads_.end()) return;
   PendingRead& pr = it->second;

@@ -296,6 +296,14 @@ void AuroraCluster::RegisterAllMetrics() {
                      [this] { return loop_.events_executed(); });
   m->RegisterGauge("sim.now_us",
                    [this] { return static_cast<double>(loop_.now()); });
+  // Event-queue internals: executed events, lazily-cancelled tombstones and
+  // the heap high-water mark (live + not-yet-purged entries).
+  m->RegisterCounter("sim.loop.events_executed",
+                     [this] { return loop_.events_executed(); });
+  m->RegisterCounter("sim.loop.tombstones",
+                     [this] { return loop_.tombstones(); });
+  m->RegisterCounter("sim.loop.heap_peak",
+                     [this] { return static_cast<uint64_t>(loop_.heap_peak()); });
 }
 
 AuroraCluster::~AuroraCluster() = default;

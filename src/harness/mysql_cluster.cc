@@ -32,6 +32,83 @@ MysqlCluster::MysqlCluster(MysqlClusterOptions options)
         &loop_, network_.get(), node, options_.binlog_apply_cost));
     db_->AttachBinlogReplica(node);
   }
+
+  RegisterAllMetrics();
+}
+
+void MysqlCluster::RegisterAllMetrics() {
+  MetricsRegistry* m = &metrics_;
+
+  // --- Engine (closures indirect through db_ so they stay valid for the
+  // cluster's lifetime; the baseline has no failover, so no writer_-style
+  // indirection is needed) -------------------------------------------------
+  {
+    auto stats = [this]() -> const baseline::MysqlStats& {
+      return db_->stats();
+    };
+    struct CounterDef {
+      const char* name;
+      uint64_t baseline::MysqlStats::*field;
+    };
+    static constexpr CounterDef kCounters[] = {
+        {"txns_committed", &baseline::MysqlStats::txns_committed},
+        {"txns_aborted", &baseline::MysqlStats::txns_aborted},
+        {"reads", &baseline::MysqlStats::reads},
+        {"writes", &baseline::MysqlStats::writes},
+        {"wal_flushes", &baseline::MysqlStats::wal_flushes},
+        {"wal_bytes", &baseline::MysqlStats::wal_bytes},
+        {"page_writes", &baseline::MysqlStats::page_writes},
+        {"dwb_writes", &baseline::MysqlStats::dwb_writes},
+        {"binlog_writes", &baseline::MysqlStats::binlog_writes},
+        {"checkpoints", &baseline::MysqlStats::checkpoints},
+        {"page_reads", &baseline::MysqlStats::page_reads},
+        {"dirty_evict_stalls", &baseline::MysqlStats::dirty_evict_stalls},
+    };
+    for (const CounterDef& def : kCounters) {
+      m->RegisterCounter(std::string("engine.mysql.") + def.name,
+                         [stats, field = def.field] { return stats().*field; });
+    }
+    struct HistDef {
+      const char* name;
+      Histogram baseline::MysqlStats::*field;
+    };
+    static constexpr HistDef kHists[] = {
+        {"commit_latency_us", &baseline::MysqlStats::commit_latency_us},
+        {"read_latency_us", &baseline::MysqlStats::read_latency_us},
+        {"write_latency_us", &baseline::MysqlStats::write_latency_us},
+    };
+    for (const HistDef& def : kHists) {
+      m->RegisterHistogram(
+          std::string("engine.mysql.") + def.name,
+          [stats, field = def.field] { return &(stats().*field); });
+    }
+    m->RegisterGauge("engine.mysql.flushed_lsn", [this] {
+      return static_cast<double>(db_->flushed_lsn());
+    });
+    m->RegisterGauge("engine.mysql.checkpoint_lsn", [this] {
+      return static_cast<double>(db_->checkpoint_lsn());
+    });
+    m->RegisterGauge("engine.mysql.dirty_pages", [this] {
+      return static_cast<double>(db_->dirty_pages());
+    });
+  }
+
+  // --- Network totals ------------------------------------------------------
+  m->RegisterCounter("net.total.messages_sent",
+                     [this] { return network_->total().messages_sent; });
+  m->RegisterCounter("net.total.bytes_sent",
+                     [this] { return network_->total().bytes_sent; });
+
+  // --- Simulator loop ------------------------------------------------------
+  m->RegisterCounter("sim.loop.events_executed",
+                     [this] { return loop_.events_executed(); });
+  m->RegisterCounter("sim.loop.tombstones", [this] { return loop_.tombstones(); });
+  m->RegisterCounter("sim.loop.heap_peak", [this] {
+    return static_cast<uint64_t>(loop_.heap_peak());
+  });
+  m->RegisterGauge("sim.now_us", [this] {
+    return static_cast<double>(loop_.now());
+  });
 }
 
 MysqlCluster::~MysqlCluster() = default;

@@ -7,6 +7,7 @@
 
 #include "baseline/binlog_replica.h"
 #include "baseline/mirrored_mysql.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "sim/event_loop.h"
 #include "sim/instance.h"
@@ -73,7 +74,17 @@ class MysqlCluster {
   bool RunUntil(std::function<bool()> pred, SimDuration max);
   void RunFor(SimDuration d) { loop_.RunFor(d); }
 
+  /// Registry over the baseline's stats, mirroring AuroraCluster::metrics()
+  /// so benches can dump both systems through the same machinery (table 1,
+  /// figure 7).
+  MetricsRegistry* metrics() { return &metrics_; }
+  std::string DumpMetricsJson() { return metrics_.ToJson(); }
+
  private:
+  /// Installs pull-closures for every MysqlStats field plus WAL/checkpoint
+  /// gauges and the simulator loop counters.
+  void RegisterAllMetrics();
+
   MysqlClusterOptions options_;
   sim::EventLoop loop_;
   sim::Topology topology_;
@@ -83,6 +94,7 @@ class MysqlCluster {
   std::unique_ptr<baseline::MirroredMySql> db_;
   std::vector<std::unique_ptr<baseline::BinlogReplica>> replicas_;
   sim::NodeId db_node_ = sim::kInvalidNode;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace aurora

@@ -157,6 +157,11 @@ void EncodeRecordBatch(const std::vector<LogRecord>& records,
   for (const LogRecord& r : records) r.EncodeTo(dst);
 }
 
+void EncodeRecordBatch(const std::vector<const LogRecord*>& records,
+                       std::string* dst) {
+  for (const LogRecord* r : records) r->EncodeTo(dst);
+}
+
 Status DecodeRecordBatch(Slice input, std::vector<LogRecord>* out) {
   while (!input.empty()) {
     LogRecord r;

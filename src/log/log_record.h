@@ -91,6 +91,10 @@ struct LogRecord {
 /// segment replica) and decodes it back. The batch carries no header of its
 /// own; records are self-delimiting.
 void EncodeRecordBatch(const std::vector<LogRecord>& records, std::string* dst);
+/// View-based overload (Segment::RecordsAbove/UnbackedRecords): encodes the
+/// pointed-to records without copying them first. Same bytes as above.
+void EncodeRecordBatch(const std::vector<const LogRecord*>& records,
+                       std::string* dst);
 Status DecodeRecordBatch(Slice input, std::vector<LogRecord>* out);
 
 }  // namespace aurora

@@ -43,7 +43,7 @@ class Instance {
 
   /// Runs a CPU work item costing `cpu_cost` of one core's time; `done`
   /// fires when it completes (after any queueing delay).
-  void Execute(SimDuration cpu_cost, std::function<void()> done) {
+  void Execute(SimDuration cpu_cost, EventFn done) {
     // Pick the earliest-free core (FCFS across a c-server queue).
     auto it = std::min_element(core_free_.begin(), core_free_.end());
     SimTime start = std::max(loop_->now(), *it);

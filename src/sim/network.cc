@@ -93,21 +93,21 @@ void Network::SendImpl(NodeId from, NodeId to, uint16_t type,
   msg.from = from;
   msg.to = to;
   msg.type = type;
-  msg.payload = std::move(header);
+  msg.header = std::move(header);
+  msg.body = std::move(body);
   msg.sent_at = loop_->now();
 
-  loop_->ScheduleAt(
-      deliver_at, [this, msg = std::move(msg), body = std::move(body)]() mutable {
-        // Re-check reachability at delivery time: a crash while the message
-        // was in flight loses it.
-        if (!Reachable(msg.from, msg.to)) return;
-        if (msg.to >= handlers_.size() || !handlers_[msg.to]) return;
-        // Materialize the shared body into the receiver's copy (a memcpy at
-        // delivery — the sender never re-serialized it).
-        if (body) msg.payload.append(*body);
-        stats_[msg.to].messages_received++;
-        handlers_[msg.to](msg);
-      });
+  // The delivery closure carries the message fragments as-is: the shared
+  // body is never copied per receiver, and the whole capture fits EventFn's
+  // inline buffer (no allocation per message in steady state).
+  loop_->ScheduleAt(deliver_at, [this, msg = std::move(msg)]() {
+    // Re-check reachability at delivery time: a crash while the message
+    // was in flight loses it.
+    if (!Reachable(msg.from, msg.to)) return;
+    if (msg.to >= handlers_.size() || !handlers_[msg.to]) return;
+    stats_[msg.to].messages_received++;
+    handlers_[msg.to](msg);
+  });
 }
 
 void Network::SetNodeDown(NodeId node, bool down) {

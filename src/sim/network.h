@@ -2,14 +2,15 @@
 #define AURORA_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/random.h"
+#include "common/slice.h"
 #include "common/units.h"
 #include "sim/event_loop.h"
 #include "sim/topology.h"
@@ -19,12 +20,49 @@ namespace aurora::sim {
 /// A message in flight between simulated hosts. Payloads are real serialized
 /// bytes so that byte/packet accounting (the paper's PPS and bandwidth
 /// bottlenecks, §1 and §3) reflects genuine wire sizes.
+///
+/// The payload is stored as two fragments: a small per-destination `header`
+/// owned by the message, plus an optional refcounted `body` shared by every
+/// copy in a fan-out (the sender serializes it once; delivery never copies
+/// it). Receivers read through `payload()`, which is zero-copy whenever the
+/// bytes live in one fragment; two-fragment consumers (the write batch path)
+/// decode each fragment in place instead.
 struct Message {
   NodeId from = kInvalidNode;
   NodeId to = kInvalidNode;
   uint16_t type = 0;
-  std::string payload;
+  std::string header;
+  std::shared_ptr<const std::string> body;
   SimTime sent_at = 0;
+
+  size_t payload_size() const {
+    return header.size() + (body ? body->size() : 0);
+  }
+
+  /// View of the full header+body byte stream. Zero-copy when the payload is
+  /// a single fragment (every message except fan-out sends with a non-empty
+  /// header); otherwise the concatenation is materialized once per message
+  /// and cached.
+  Slice payload() const {
+    if (!body) return Slice(header);
+    if (header.empty()) return Slice(*body);
+    if (!joined_) {
+      auto j = std::make_shared<std::string>();
+      j->reserve(header.size() + body->size());
+      j->append(header);
+      j->append(*body);
+      joined_ = std::move(j);
+    }
+    return Slice(*joined_);
+  }
+
+  /// The two raw fragments, for consumers that can decode them in place
+  /// (WriteBatchMsg::DecodeFrom(head, body)) without ever joining.
+  Slice head() const { return Slice(header); }
+  Slice body_view() const { return body ? Slice(*body) : Slice(); }
+
+ private:
+  mutable std::shared_ptr<std::string> joined_;  // cow cache for payload()
 };
 
 /// Per-node network counters.
@@ -42,7 +80,10 @@ struct NetStats {
 /// partition, random drop).
 class Network {
  public:
-  using Handler = std::function<void(const Message&)>;
+  /// Receive callback. Inline storage sized for the capture lists of the
+  /// per-node dispatchers (typically just a `this` pointer or a couple of
+  /// words); larger captures fall back to the heap at Register() time only.
+  using Handler = InlineFunction<void(const Message&), 64>;
 
   Network(EventLoop* loop, const Topology* topology, FabricOptions options,
           Random rng)

@@ -46,11 +46,12 @@ const LogRecord* Segment::RecordAt(Lsn lsn) const {
   return it == hot_log_.end() ? nullptr : &it->second;
 }
 
-std::vector<LogRecord> Segment::RecordsAbove(Lsn from, size_t max) const {
-  std::vector<LogRecord> out;
+std::vector<const LogRecord*> Segment::RecordsAbove(Lsn from,
+                                                    size_t max) const {
+  std::vector<const LogRecord*> out;
   for (auto it = hot_log_.upper_bound(from);
        it != hot_log_.end() && out.size() < max; ++it) {
-    out.push_back(it->second);
+    out.push_back(&it->second);
   }
   return out;
 }
@@ -348,11 +349,11 @@ void Segment::CorruptBasePageForTesting(PageId page) {
   CacheErase(page);
 }
 
-std::vector<LogRecord> Segment::UnbackedRecords(size_t max) const {
-  std::vector<LogRecord> out;
+std::vector<const LogRecord*> Segment::UnbackedRecords(size_t max) const {
+  std::vector<const LogRecord*> out;
   for (auto it = hot_log_.upper_bound(backup_lsn_);
        it != hot_log_.end() && it->first <= scl_ && out.size() < max; ++it) {
-    out.push_back(it->second);
+    out.push_back(&it->second);
   }
   return out;
 }

@@ -73,8 +73,10 @@ class Segment {
   size_t hot_log_size() const { return hot_log_.size(); }
 
   /// Records this replica has with LSN > `from`, up to `max` of them, in
-  /// LSN order — the gossip-push payload.
-  std::vector<LogRecord> RecordsAbove(Lsn from, size_t max) const;
+  /// LSN order — the gossip-push payload. Returns views into the hot log
+  /// (std::map nodes are pointer-stable); valid until the hot log is next
+  /// mutated, so consume synchronously.
+  std::vector<const LogRecord*> RecordsAbove(Lsn from, size_t max) const;
 
   /// The recovery inventory: (lsn, prev, flags) of every hot-log record.
   std::vector<InventoryEntry> Inventory() const;
@@ -159,8 +161,9 @@ class Segment {
   void CorruptBasePageForTesting(PageId page);
 
   // --- Backup --------------------------------------------------------------
-  /// Records with LSN in (backup_lsn, scl] not yet staged to S3.
-  std::vector<LogRecord> UnbackedRecords(size_t max) const;
+  /// Records with LSN in (backup_lsn, scl] not yet staged to S3. Views into
+  /// the hot log, valid until the next mutation — consume synchronously.
+  std::vector<const LogRecord*> UnbackedRecords(size_t max) const;
   void MarkBackedUp(Lsn through) {
     if (through > backup_lsn_) backup_lsn_ = through;
   }

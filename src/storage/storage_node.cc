@@ -174,7 +174,11 @@ void StorageNode::HandleMessage(const sim::Message& msg) {
 
 void StorageNode::HandleWriteBatch(const sim::Message& msg) {
   WriteBatchMsg batch;
-  if (!WriteBatchMsg::DecodeFrom(msg.payload, &batch).ok()) return;
+  // Decode the header and shared-body fragments in place: the fan-out body
+  // is shared by all six in-flight copies and is never concatenated.
+  if (!WriteBatchMsg::DecodeFrom(msg.head(), msg.body_view(), &batch).ok()) {
+    return;
+  }
   Segment* seg = segment(batch.pg);
   if (seg == nullptr) return;  // not a member (anymore)
   ++stats_.batches_received;
@@ -185,7 +189,7 @@ void StorageNode::HandleWriteBatch(const sim::Message& msg) {
   // (a crash before completion loses the batch, which is exactly the
   // durability contract — unacked writes may vanish).
   const uint64_t gen = generation_;
-  const uint64_t bytes = msg.payload.size();
+  const uint64_t bytes = msg.payload_size();
   disk_.Write(bytes, [this, gen, batch = std::move(batch),
                       from = msg.from](Status s) mutable {
     if (gen != generation_ || crashed_ || !s.ok()) return;
@@ -210,7 +214,7 @@ void StorageNode::HandleWriteBatch(const sim::Message& msg) {
 
 void StorageNode::HandleReadPage(const sim::Message& msg) {
   ReadPageReqMsg req;
-  if (!ReadPageReqMsg::DecodeFrom(msg.payload, &req).ok()) return;
+  if (!ReadPageReqMsg::DecodeFrom(msg.payload(), &req).ok()) return;
   const uint64_t gen = generation_;
   // One device read to serve a page miss.
   Segment* seg = segment(req.pg);
@@ -245,7 +249,7 @@ void StorageNode::HandleReadPage(const sim::Message& msg) {
 
 void StorageNode::HandleInventory(const sim::Message& msg) {
   InventoryReqMsg req;
-  if (!InventoryReqMsg::DecodeFrom(msg.payload, &req).ok()) return;
+  if (!InventoryReqMsg::DecodeFrom(msg.payload(), &req).ok()) return;
   Segment* seg = segment(req.pg);
   if (seg == nullptr) return;
   InventoryRespMsg resp;
@@ -264,7 +268,7 @@ void StorageNode::HandleInventory(const sim::Message& msg) {
 
 void StorageNode::HandleTruncate(const sim::Message& msg) {
   TruncateReqMsg req;
-  if (!TruncateReqMsg::DecodeFrom(msg.payload, &req).ok()) return;
+  if (!TruncateReqMsg::DecodeFrom(msg.payload(), &req).ok()) return;
   Segment* seg = segment(req.pg);
   if (seg == nullptr) return;
   Status s = seg->Truncate(req.truncate_above, req.epoch);
@@ -288,7 +292,7 @@ void StorageNode::HandleTruncate(const sim::Message& msg) {
 
 void StorageNode::HandlePgmrpl(const sim::Message& msg) {
   PgmrplMsg m;
-  if (!PgmrplMsg::DecodeFrom(msg.payload, &m).ok()) return;
+  if (!PgmrplMsg::DecodeFrom(msg.payload(), &m).ok()) return;
   Segment* seg = segment(m.pg);
   if (seg == nullptr) return;
   seg->SetPgmrpl(m.pgmrpl);
@@ -334,29 +338,28 @@ void StorageNode::GossipTick() {
 
 void StorageNode::HandleGossipPull(const sim::Message& msg) {
   GossipPullMsg pull;
-  if (!GossipPullMsg::DecodeFrom(msg.payload, &pull).ok()) return;
+  if (!GossipPullMsg::DecodeFrom(msg.payload(), &pull).ok()) return;
   Segment* seg = segment(pull.pg);
   if (seg == nullptr) return;
   if (seg->max_lsn() <= pull.scl) return;  // nothing to offer
-  GossipPushMsg push;
-  push.pg = pull.pg;
-  push.records = seg->RecordsAbove(pull.scl, options_.gossip_max_records);
-  if (push.records.empty()) return;
-  stats_.gossip_records_sent += push.records.size();
+  std::vector<const LogRecord*> records =
+      seg->RecordsAbove(pull.scl, options_.gossip_max_records);
+  if (records.empty()) return;
+  stats_.gossip_records_sent += records.size();
   std::string payload;
-  push.EncodeTo(&payload);
+  GossipPushMsg::EncodeRecordsTo(pull.pg, records, &payload);
   network_->Send(id_, msg.from, kMsgGossipPush, std::move(payload));
 }
 
 void StorageNode::HandleGossipPush(const sim::Message& msg) {
   GossipPushMsg push;
-  if (!GossipPushMsg::DecodeFrom(msg.payload, &push).ok()) return;
+  if (!GossipPushMsg::DecodeFrom(msg.payload(), &push).ok()) return;
   Segment* seg = segment(push.pg);
   if (seg == nullptr) return;
   // Persist backfilled records before integrating them, same as writer
   // batches.
   const uint64_t gen = generation_;
-  const uint64_t bytes = msg.payload.size();
+  const uint64_t bytes = msg.payload_size();
   disk_.Write(bytes, [this, gen, push = std::move(push)](Status s) {
     if (gen != generation_ || crashed_ || !s.ok()) return;
     Segment* seg = segment(push.pg);
@@ -473,12 +476,12 @@ void StorageNode::BackupTick() {
       }
     }
     if (uploader != id_) continue;
-    std::vector<LogRecord> records =
+    std::vector<const LogRecord*> records =
         seg->UnbackedRecords(options_.backup_max_records);
     if (records.empty()) continue;
     std::string blob;
     EncodeRecordBatch(records, &blob);
-    Lsn through = records.back().lsn;
+    Lsn through = records.back()->lsn;
     char key[64];
     snprintf(key, sizeof(key), "backup/pg%06u/%020llu",
              static_cast<unsigned>(pg),
@@ -491,7 +494,7 @@ void StorageNode::BackupTick() {
 
 void StorageNode::HandleSegmentStateReq(const sim::Message& msg) {
   SegmentStateReqMsg req;
-  if (!SegmentStateReqMsg::DecodeFrom(msg.payload, &req).ok()) return;
+  if (!SegmentStateReqMsg::DecodeFrom(msg.payload(), &req).ok()) return;
   Segment* seg = segment(req.pg);
   if (seg == nullptr) return;
   SegmentStateRespMsg resp;
@@ -511,7 +514,7 @@ void StorageNode::HandleSegmentStateReq(const sim::Message& msg) {
 
 void StorageNode::HandleSegmentStateResp(const sim::Message& msg) {
   SegmentStateRespMsg resp;
-  if (!SegmentStateRespMsg::DecodeFrom(msg.payload, &resp).ok()) return;
+  if (!SegmentStateRespMsg::DecodeFrom(msg.payload(), &resp).ok()) return;
   // Persist the received copy, then install it.
   const uint64_t gen = generation_;
   disk_.Write(resp.state.size(), [this, gen,

@@ -50,6 +50,28 @@ Status WriteBatchMsg::DecodeFrom(Slice input, WriteBatchMsg* out) {
   return DecodeRecordBatch(blob, &out->records);
 }
 
+Status WriteBatchMsg::DecodeFrom(Slice head, Slice body, WriteBatchMsg* out) {
+  if (head.empty()) return DecodeFrom(body, out);
+  if (body.empty()) return DecodeFrom(head, out);
+  // True split: EncodeHeaderTo ends the header fragment exactly after the
+  // replica byte, so each field lives wholly in one fragment.
+  uint32_t pg;
+  if (!GetVarint32(&head, &pg) || head.empty()) return Malformed("batch");
+  out->pg = pg;
+  out->replica = static_cast<ReplicaIdx>(head[0]);
+  head.remove_prefix(1);
+  if (!head.empty()) return Malformed("batch");
+  Slice blob;
+  if (!GetVarint64(&body, &out->epoch) ||
+      !GetVarint64(&body, &out->batch_seq) ||
+      !GetVarint64(&body, &out->vdl_hint) ||
+      !GetVarint64(&body, &out->pgmrpl_hint) ||
+      !GetLengthPrefixedSlice(&body, &blob)) {
+    return Malformed("batch");
+  }
+  return DecodeRecordBatch(blob, &out->records);
+}
+
 void WriteAckMsg::EncodeTo(std::string* dst) const {
   PutVarint32(dst, pg);
   dst->push_back(static_cast<char>(replica));
@@ -252,6 +274,15 @@ Status GossipPullMsg::DecodeFrom(Slice input, GossipPullMsg* out) {
 }
 
 void GossipPushMsg::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, pg);
+  std::string blob;
+  EncodeRecordBatch(records, &blob);
+  PutLengthPrefixedSlice(dst, blob);
+}
+
+void GossipPushMsg::EncodeRecordsTo(PgId pg,
+                                    const std::vector<const LogRecord*>& records,
+                                    std::string* dst) {
   PutVarint32(dst, pg);
   std::string blob;
   EncodeRecordBatch(records, &blob);

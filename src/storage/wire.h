@@ -62,6 +62,13 @@ struct WriteBatchMsg {
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice input, WriteBatchMsg* out);
 
+  /// Two-fragment decode for zero-copy delivery: `head` is the per-replica
+  /// header fragment (pg + replica index, possibly followed by body bytes
+  /// when the message arrived in one piece) and `body` the shared fragment.
+  /// Decodes the same byte stream as DecodeFrom(head + body) without ever
+  /// concatenating the fragments.
+  static Status DecodeFrom(Slice head, Slice body, WriteBatchMsg* out);
+
   /// Split encoding for single-encode fan-out: the header carries the only
   /// per-replica field (pg + replica index) while the body — epoch, seq,
   /// watermark hints, and the record blob — is identical across the 6
@@ -196,6 +203,13 @@ struct GossipPushMsg {
 
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice input, GossipPushMsg* out);
+
+  /// Encodes straight from hot-log record views (Segment::RecordsAbove) —
+  /// byte-identical to filling `records` and calling EncodeTo, minus the
+  /// deep copy of every record payload.
+  static void EncodeRecordsTo(PgId pg,
+                              const std::vector<const LogRecord*>& records,
+                              std::string* dst);
 };
 
 /// Writer -> read replica: the redo stream plus watermark metadata

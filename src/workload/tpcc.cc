@@ -46,8 +46,11 @@ void TpccDriver::Load(std::function<void(Status)> done) {
     int phase = 0;  // 0=warehouse 1=district 2=customer 3=stock 4=done
   };
   auto st = std::make_shared<LoadState>();
+  // Weak self-reference: the in-flight Put/Commit continuations hold the
+  // strong one, so the loader frees itself at phase 4 (no self-cycle).
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, st, step, done]() {
+  std::weak_ptr<std::function<void()>> weak_step = step;
+  *step = [this, st, weak_step, done]() {
     PageId table = kInvalidPage;
     std::string key, value;
     switch (st->phase) {
@@ -101,7 +104,8 @@ void TpccDriver::Load(std::function<void(Status)> done) {
         return;
     }
     TxnId txn = client_->Begin();
-    client_->Put(txn, table, key, value, [this, txn, step, done](Status s) {
+    client_->Put(txn, table, key, value,
+                 [this, txn, step = weak_step.lock(), done](Status s) {
       if (!s.ok()) {
         done(s);
         return;
@@ -111,7 +115,7 @@ void TpccDriver::Load(std::function<void(Status)> done) {
           done(cs);
           return;
         }
-        (*step)();
+        if (step) (*step)();
       });
     });
   };
@@ -207,7 +211,8 @@ void TpccDriver::NewOrder(int conn) {
           return;
         }
         auto line = std::make_shared<std::function<void(int)>>();
-        *line = [this, conn, txn, w, started, line](int remaining) {
+        std::weak_ptr<std::function<void(int)>> weak_line = line;
+        *line = [this, conn, txn, w, started, weak_line](int remaining) {
           if (remaining == 0) {
             client_->Commit(txn, [this, conn, started](Status cs) {
               TxnDone(conn, cs.ok(), true, started);
@@ -224,12 +229,13 @@ void TpccDriver::NewOrder(int conn) {
           }
           client_->Put(txn, tables_.stock, StockKey(supply_w, item),
                        "qty=" + std::to_string(c->rng.Uniform(90) + 1),
-                       [this, conn, started, line, remaining](Status ss) {
+                       [this, conn, started, line = weak_line.lock(),
+                        remaining](Status ss) {
             if (!ss.ok()) {
               TxnDone(conn, false, true, started);
               return;
             }
-            (*line)(remaining - 1);
+            if (line) (*line)(remaining - 1);
           });
         };
         (*line)(options_.items_per_order);

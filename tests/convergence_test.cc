@@ -65,8 +65,8 @@ TEST_P(GossipConvergenceTest, PairwiseExchangeConvergesAllReplicas) {
     // Each side advertises its SCL; the other pushes what it has above it.
     for (auto [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
       auto records = replicas[src]->RecordsAbove(replicas[dst]->scl(), 64);
-      for (const LogRecord& r : records) {
-        replicas[dst]->AddRecord(r);
+      for (const LogRecord* r : records) {
+        replicas[dst]->AddRecord(*r);
       }
     }
     bool all = true;

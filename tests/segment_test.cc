@@ -70,7 +70,7 @@ TEST(SegmentTest, RecordsAboveReturnsOrderedSuffix) {
   for (const auto& r : records) seg.AddRecord(r);
   auto above = seg.RecordsAbove(records[4].lsn, 100);
   ASSERT_EQ(above.size(), 5u);
-  EXPECT_EQ(above[0].lsn, records[5].lsn);
+  EXPECT_EQ(above[0]->lsn, records[5].lsn);
   auto capped = seg.RecordsAbove(kInvalidLsn, 3);
   EXPECT_EQ(capped.size(), 3u);
 }

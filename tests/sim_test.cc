@@ -102,7 +102,7 @@ TEST_F(NetworkTest, DeliversMessages) {
   net_.Send(a_, b_, 7, "ping");
   loop_.Run();
   ASSERT_EQ(at_b_.size(), 1u);
-  EXPECT_EQ(at_b_[0].payload, "ping");
+  EXPECT_EQ(at_b_[0].payload().ToString(), "ping");
   EXPECT_EQ(at_b_[0].type, 7);
   EXPECT_EQ(at_b_[0].from, a_);
 }
@@ -116,10 +116,10 @@ TEST_F(NetworkTest, SharedPayloadSendDeliversHeaderPlusBodyBytes) {
   loop_.Run();
   // Receivers see one contiguous payload, identical to the plain Send.
   ASSERT_EQ(at_b_.size(), 2u);
-  EXPECT_EQ(at_b_[0].payload, "hdr-0123456789");
-  EXPECT_EQ(at_b_[1].payload, "hdr-0123456789");
+  EXPECT_EQ(at_b_[0].payload().ToString(), "hdr-0123456789");
+  EXPECT_EQ(at_b_[1].payload().ToString(), "hdr-0123456789");
   ASSERT_EQ(at_c_.size(), 1u);
-  EXPECT_EQ(at_c_[0].payload, "HDR-0123456789");
+  EXPECT_EQ(at_c_[0].payload().ToString(), "HDR-0123456789");
   // Byte accounting covers header + body for every copy, as on a real wire.
   EXPECT_EQ(net_.stats_of(a_).bytes_sent, 3 * 14u);
   EXPECT_EQ(net_.stats_of(a_).messages_sent, 3u);
@@ -134,7 +134,7 @@ TEST_F(NetworkTest, SharedPayloadSendToDownNodeIsDropped) {
   loop_.Run();
   EXPECT_TRUE(at_b_.empty());
   ASSERT_EQ(at_c_.size(), 1u);
-  EXPECT_EQ(at_c_[0].payload, "xshared");
+  EXPECT_EQ(at_c_[0].payload().ToString(), "xshared");
   EXPECT_EQ(net_.stats_of(a_).messages_dropped, 1u);
 }
 
