@@ -15,14 +15,18 @@ namespace {
 void Run() {
   PrintHeader("Section 2: quorum durability under correlated failure",
               "§2.1-2.2 (AZ+1 design point)");
+  BenchReport bench("sec2_durability");
 
   // Repair time: "a 10GB segment can be repaired in 10 seconds on a 10Gbps
   // network link".
   printf("Segment repair time (size / bandwidth):\n");
   for (double gb : {1.0, 10.0, 100.0}) {
-    printf("  %6.0f GB segment @ 10 Gbps: %6.1f s\n", gb,
-           AvailabilityModel::RepairSeconds(
-               static_cast<uint64_t>(gb * (1ull << 30)), 10e9));
+    double secs = AvailabilityModel::RepairSeconds(
+        static_cast<uint64_t>(gb * (1ull << 30)), 10e9);
+    printf("  %6.0f GB segment @ 10 Gbps: %6.1f s\n", gb, secs);
+    bench.Result("repair_seconds." + std::to_string(static_cast<int>(gb)) +
+                     "gb",
+                 secs);
   }
 
   // Analytic + Monte Carlo quorum-loss probabilities.
@@ -42,6 +46,12 @@ void Run() {
     snprintf(name, sizeof(name), "%d/%d/%d", q.votes, q.write_quorum,
              q.read_quorum);
     printf("%-14s %22.2e %26.4f\n", name, report.az_plus_noise_loss_prob, mc);
+    char key[32];
+    snprintf(key, sizeof(key), "quorum_%d_%d_%d", q.votes, q.write_quorum,
+             q.read_quorum);
+    bench.Result(std::string(key) + ".az_plus_noise_loss_prob",
+                 report.az_plus_noise_loss_prob);
+    bench.Result(std::string(key) + ".mc_loss_prob_1yr", mc);
   }
   printf("\nExpected shape: the 6/4/3 scheme survives AZ+1 (orders of\n");
   printf("magnitude below 2/3), because an AZ failure still leaves a\n");
@@ -52,10 +62,16 @@ void Run() {
   ClusterOptions copts = StandardAuroraOptions();
   copts.repair.detection_threshold = Seconds(2);
   AuroraCluster cluster(copts);
-  if (!cluster.BootstrapSync().ok()) return;
+  if (!cluster.BootstrapSync().ok()) {
+    bench.Write();
+    return;
+  }
   PageId table;
   {
-    if (!cluster.CreateTableSync("t").ok()) return;
+    if (!cluster.CreateTableSync("t").ok()) {
+      bench.Write();
+      return;
+    }
     table = *cluster.TableAnchorSync("t");
   }
   for (int i = 0; i < 400; ++i) {
@@ -74,10 +90,17 @@ void Run() {
            "  (tiny test segment; a paper-scale 10 GB segment moves in\n"
            "   ~8.6 s at 10 Gbps, per the table above)\n",
            ToSeconds(durations.front()));
+    bench.Result("live_repair.first_duration_seconds",
+                 ToSeconds(durations.front()));
   }
   printf("  repairs completed: %llu\n",
          static_cast<unsigned long long>(
              cluster.repair_manager()->stats().repairs_completed));
+  bench.Result("live_repair.repairs_completed",
+               static_cast<double>(
+                   cluster.repair_manager()->stats().repairs_completed));
+  bench.AttachCluster("aurora", &cluster);
+  bench.Write();
 }
 
 }  // namespace

@@ -15,6 +15,7 @@ namespace {
 void Run() {
   PrintHeader("Section 4.3: crash recovery time vs write history",
               "§4.3 (recovery without checkpoint replay)");
+  BenchReport bench("sec43_crash_recovery");
 
   printf("%-18s %18s %22s\n", "writes pre-crash", "aurora recovery",
          "mysql recovery (ARIES)");
@@ -54,10 +55,16 @@ void Run() {
 
     printf("%-18d %15.1f ms%s %19.1f ms%s\n", writes, ToMillis(a_time),
            a_ok ? "" : "!", ToMillis(m_time), m_ok ? "" : "!");
+    const std::string prefix = "writes_" + std::to_string(writes);
+    bench.Result(prefix + ".aurora_recovery_ms", ToMillis(a_time));
+    bench.Result(prefix + ".mysql_recovery_ms", ToMillis(m_time));
+    bench.Result(prefix + ".aurora_recovered", a_ok ? 1.0 : 0.0);
+    bench.Result(prefix + ".mysql_recovered", m_ok ? 1.0 : 0.0);
   }
   printf("\nExpected shape: Aurora recovery time is flat (a quorum\n");
   printf("round-trip per PG plus truncation — no redo replay); MySQL's\n");
   printf("grows linearly with the log written since its checkpoint.\n");
+  bench.Write();
 }
 
 }  // namespace

@@ -30,6 +30,8 @@ const char* CodeName(Status::Code code) {
       return "OutOfRange";
     case Status::Code::kStale:
       return "Stale";
+    case Status::Code::kFenced:
+      return "Fenced";
   }
   return "Unknown";
 }

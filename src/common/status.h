@@ -26,6 +26,7 @@ class Status {
     kNotSupported = 9,
     kOutOfRange = 10,
     kStale = 11,          // stale epoch / superseded request
+    kFenced = 12,         // writer fenced out by a newer volume epoch
   };
 
   Status() = default;
@@ -69,6 +70,9 @@ class Status {
   static Status Stale(std::string_view msg = "") {
     return Status(Code::kStale, msg);
   }
+  static Status Fenced(std::string_view msg = "") {
+    return Status(Code::kFenced, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -82,6 +86,7 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsStale() const { return code_ == Code::kStale; }
+  bool IsFenced() const { return code_ == Code::kFenced; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

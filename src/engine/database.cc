@@ -135,6 +135,10 @@ Database::Database(sim::EventLoop* loop, sim::Network* network,
 Database::~Database() = default;
 
 void Database::HandleMessage(const sim::Message& msg) {
+  if (!network_->VerifyFrame(msg)) {
+    ++stats_.corrupt_frames_dropped;
+    return;
+  }
   switch (msg.type) {
     case kMsgWriteAck:
       HandleWriteAck(msg);
@@ -354,6 +358,7 @@ void Database::FlushBatch(PgId pg) {
 }
 
 void Database::SendBatch(OutstandingBatch* batch) {
+  if (fenced_) return;
   const PgMembership& members = control_plane_->membership(batch->pg);
   const Lsn pgmrpl = ComputePgmrpl();
   // Single-encode fan-out: the body (epoch, seq, hints, record blob) is
@@ -404,6 +409,12 @@ void Database::HandleWriteAck(const sim::Message& msg) {
   if (ack.replica >= kReplicasPerPg ||
       members.nodes[ack.replica] != msg.from) {
     return;  // ack from a replaced (stale) replica
+  }
+  if (ack.status_code == static_cast<uint8_t>(Status::Code::kFenced)) {
+    // Storage has seen a newer volume epoch: a replica was promoted while
+    // this writer was partitioned. Demote instead of retrying forever.
+    BecomeFenced(ack.epoch);
+    return;
   }
   Lsn& known = replica_scl_[{ack.pg, ack.replica}];
   if (ack.scl > known) known = ack.scl;
@@ -468,6 +479,47 @@ void Database::ProcessCommitQueue() {
     txns_.erase(id);
     if (registered) purge_queue_.push_back(id);
     if (cb) cb(Status::OK());
+  }
+}
+
+void Database::BecomeFenced(Epoch fencing_epoch) {
+  if (fenced_) return;
+  fenced_ = true;
+  open_ = false;
+  ++stats_.fenced_rejections;
+  AURORA_WARN("writer %u fenced by volume epoch %llu (local epoch %llu)",
+              node_id_, static_cast<unsigned long long>(fencing_epoch),
+              static_cast<unsigned long long>(volume_epoch_));
+  // Stop the write pipeline: no batch may ever be resent under the dead
+  // epoch, and nothing queued behind durability can ever be acked.
+  for (auto& [pg, batch] : pending_batches_) {
+    if (batch.linger_armed) loop_->Cancel(batch.linger_event);
+  }
+  pending_batches_.clear();
+  for (auto& [seq, batch] : outstanding_) {
+    if (batch->retry_event != 0) loop_->Cancel(batch->retry_event);
+  }
+  outstanding_.clear();
+  for (auto& [req, pr] : pending_reads_) {
+    if (pr.timeout_event != 0) loop_->Cancel(pr.timeout_event);
+  }
+  pending_reads_.clear();
+  fetch_in_flight_.clear();
+  page_waiters_.clear();
+  durable_waiters_.clear();
+  backpressure_queue_.clear();
+  commit_queue_.clear();
+  // Surface the demotion to every caller still waiting on a commit: their
+  // writes may or may not survive (the new writer's recovery decides), but
+  // this instance can no longer promise either way.
+  std::vector<std::function<void(Status)>> waiting;
+  for (auto& [id, t] : txns_) {
+    if (t->commit_cb) waiting.push_back(std::move(t->commit_cb));
+  }
+  txns_.clear();
+  locks_.Reset();
+  for (auto& cb : waiting) {
+    cb(Status::Fenced("writer superseded by a newer volume epoch"));
   }
 }
 
@@ -577,6 +629,7 @@ void Database::IssuePageRead(uint64_t req_id) {
   req.pg = pr.pg;
   req.page = pr.page;
   req.read_point = pr.read_point;
+  req.epoch = volume_epoch_;
   std::string payload;
   req.EncodeTo(&payload);
   network_->Send(node_id_, target, kMsgReadPageReq, std::move(payload));
@@ -601,6 +654,10 @@ void Database::HandleReadPageResp(const sim::Message& msg) {
   PendingRead& pr = it->second;
   loop_->Cancel(pr.timeout_event);
 
+  if (resp.status_code == static_cast<uint8_t>(Status::Code::kFenced)) {
+    BecomeFenced(0);  // the segment outran our epoch; exact value unknown
+    return;
+  }
   if (resp.status_code != static_cast<uint8_t>(Status::Code::kOk)) {
     // Wrong replica (incomplete / GC'd past us) — try another after a short
     // pause; gossip heals lagging segments. If the PG is idle, its segments
@@ -905,7 +962,8 @@ void Database::Put(TxnId txn, PageId table, const std::string& key,
                    const std::string& value,
                    std::function<void(Status)> done) {
   if (!open_) {
-    done(Status::Unavailable("database not open"));
+    done(fenced_ ? Status::Fenced("writer fenced by a newer volume epoch")
+                 : Status::Unavailable("database not open"));
     return;
   }
   Txn* t = FindTxn(txn);
@@ -959,7 +1017,8 @@ void Database::Put(TxnId txn, PageId table, const std::string& key,
 void Database::Delete(TxnId txn, PageId table, const std::string& key,
                       std::function<void(Status)> done) {
   if (!open_) {
-    done(Status::Unavailable("database not open"));
+    done(fenced_ ? Status::Fenced("writer fenced by a newer volume epoch")
+                 : Status::Unavailable("database not open"));
     return;
   }
   Txn* t = FindTxn(txn);
@@ -1001,7 +1060,8 @@ void Database::Delete(TxnId txn, PageId table, const std::string& key,
 void Database::Get(TxnId txn, PageId table, const std::string& key,
                    std::function<void(Result<std::string>)> done) {
   if (!open_) {
-    done(Status::Unavailable("database not open"));
+    done(fenced_ ? Status::Fenced("writer fenced by a newer volume epoch")
+                 : Status::Unavailable("database not open"));
     return;
   }
   Txn* t = FindTxn(txn);
@@ -1057,7 +1117,8 @@ void Database::Get(TxnId txn, PageId table, const std::string& key,
 void Database::SnapshotGet(TxnId txn, PageId table, const std::string& key,
                            std::function<void(Result<std::string>)> done) {
   if (!open_) {
-    done(Status::Unavailable("database not open"));
+    done(fenced_ ? Status::Fenced("writer fenced by a newer volume epoch")
+                 : Status::Unavailable("database not open"));
     return;
   }
   (void)txn;
@@ -1115,7 +1176,8 @@ void Database::Scan(
         Result<std::vector<std::pair<std::string, std::string>>>)>
         done) {
   if (!open_) {
-    done(Status::Unavailable("database not open"));
+    done(fenced_ ? Status::Fenced("writer fenced by a newer volume epoch")
+                 : Status::Unavailable("database not open"));
     return;
   }
   (void)txn;  // read-committed scan: no row locks
@@ -1145,6 +1207,10 @@ void Database::Scan(
 }
 
 void Database::Commit(TxnId txn, std::function<void(Status)> done) {
+  if (fenced_) {
+    done(Status::Fenced("writer fenced by a newer volume epoch"));
+    return;
+  }
   Txn* t = FindTxn(txn);
   if (t == nullptr) {
     done(Status::InvalidArgument("unknown transaction"));
@@ -1526,6 +1592,7 @@ void Database::Recover(std::function<void(Status)> done) {
     return;
   }
   Crash();  // make sure all volatile state is reset
+  fenced_ = false;  // a recovering instance starts fresh at the new epoch
   ++generation_;
   recovery_ = std::make_shared<RecoveryState>();
   recovery_->done = std::move(done);
@@ -1595,10 +1662,20 @@ void Database::RecoveryComputeAndTruncate(std::shared_ptr<RecoveryState> rs) {
   // record's vprev names its exact predecessor. The VCL is the end of the
   // walk and the VDL the highest CPL on it (§4.1/§4.3). The floor itself
   // is a CPL by construction (it was a VDL).
+  // Records inside a previously annulled range (above a recorded truncation
+  // point, within the dead incarnation's LAL window) may survive on replicas
+  // that missed the truncate quorum and later resurface via gossip. They
+  // belong to a fenced epoch and must never rejoin the chain.
+  auto annulled = [this](Lsn lsn) {
+    for (const auto& tr : control_plane_->truncations()) {
+      if (lsn > tr.above && lsn <= tr.above + options_.lal) return true;
+    }
+    return false;
+  };
   std::map<Lsn, const InventoryEntry*> by_vprev;
   for (const auto& [pg, entries] : rs->union_entries) {
     for (const auto& [lsn, e] : entries) {
-      if (lsn > rs->floor) by_vprev[e.vprev] = &e;
+      if (lsn > rs->floor && !annulled(lsn)) by_vprev[e.vprev] = &e;
     }
   }
   Lsn vcl = rs->floor;

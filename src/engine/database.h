@@ -43,6 +43,11 @@ struct EngineStats {
   uint64_t backpressure_stalls = 0;  // ops deferred by the LAL (§4.2.1)
   uint64_t batch_retries = 0;
   uint64_t read_retries = 0;
+  /// Storage rejections carrying a newer volume epoch (this writer has been
+  /// superseded); the first one demotes the writer (see fenced()).
+  uint64_t fenced_rejections = 0;
+  /// Frames that failed the fabric checksum at this node and were dropped.
+  uint64_t corrupt_frames_dropped = 0;
   /// Bytes NOT re-serialized thanks to single-encode fan-out: the shared
   /// WriteBatchMsg body is encoded once per (re)send and shared across the
   /// 6 segment replicas; this accumulates (sends - 1) * body_size.
@@ -184,6 +189,14 @@ class Database : public WalSink, public PageProvider {
   Lsn vcl() const { return vcl_; }
   Lsn next_lsn() const { return next_lsn_; }
   Epoch volume_epoch() const { return volume_epoch_; }
+  Lsn max_allocated_lsn() const { return max_allocated_; }
+  bool is_open() const { return open_; }
+  /// True once storage has rejected this writer with a newer volume epoch
+  /// (a replica was promoted while we were partitioned). A fenced writer
+  /// stops retrying batches, fails queued and new work with Status::Fenced,
+  /// and never acks another commit — graceful demotion, not an endless
+  /// retry loop.
+  bool fenced() const { return fenced_; }
   bool in_backpressure() const {
     // The annulled range left by recovery (VDL, VDL+LAL] is a hole in the
     // LSN space, not outstanding log volume — exclude it from the LAL
@@ -292,6 +305,10 @@ class Database : public WalSink, public PageProvider {
   void HandleWriteAck(const sim::Message& msg);
   void AdvanceDurability();
   void ProcessCommitQueue();
+  /// Demotes this writer after a kFenced rejection from storage: cancels
+  /// every outstanding batch retry, fails queued commits and waiters, and
+  /// closes the engine so new operations fail fast with Status::Fenced.
+  void BecomeFenced(Epoch fencing_epoch);
 
   // --- Read path -------------------------------------------------------------
   void StartPageFetch(PageId id);
@@ -415,6 +432,7 @@ class Database : public WalSink, public PageProvider {
   std::function<void()> undo_complete_cb_;
 
   bool open_ = false;
+  bool fenced_ = false;           // demoted by a newer volume epoch
   bool paused_ = false;           // ZDP engine swap in progress
   TxnId pause_watermark_ = 0;     // txns >= this are held during ZDP
   uint64_t generation_ = 0;

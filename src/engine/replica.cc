@@ -40,6 +40,10 @@ ReadReplica::ReadReplica(sim::EventLoop* loop, sim::Network* network,
 
 void ReadReplica::HandleMessage(const sim::Message& msg) {
   if (crashed_) return;
+  if (!network_->VerifyFrame(msg)) {
+    ++stats_.corrupt_frames_dropped;
+    return;
+  }
   switch (msg.type) {
     case kMsgReplicaLogStream:
       HandleLogStream(msg);

@@ -30,6 +30,8 @@ struct ReplicaStats {
   uint64_t mtrs_applied = 0;
   uint64_t reads = 0;
   uint64_t storage_page_reads = 0;
+  /// Frames that failed the fabric checksum at this replica and were dropped.
+  uint64_t corrupt_frames_dropped = 0;
   Histogram lag_us;  // commit-visibility lag (Table 4 / Figure 11)
   Histogram read_latency_us;
 };

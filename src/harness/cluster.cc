@@ -87,6 +87,8 @@ void AuroraCluster::RegisterAllMetrics() {
         {"batch_retries", &EngineStats::batch_retries},
         {"read_retries", &EngineStats::read_retries},
         {"batch_encode_bytes_saved", &EngineStats::batch_encode_bytes_saved},
+        {"fenced_rejections", &EngineStats::fenced_rejections},
+        {"corrupt_frames_dropped", &EngineStats::corrupt_frames_dropped},
     };
     for (const CounterDef& def : kEngineCounters) {
       m->RegisterCounter(std::string("engine.writer.") + def.name,
@@ -166,6 +168,8 @@ void AuroraCluster::RegisterAllMetrics() {
     reg("reads", [](ReadReplica* r) { return r->stats().reads; });
     reg("storage_page_reads",
         [](ReadReplica* r) { return r->stats().storage_page_reads; });
+    reg("corrupt_frames_dropped",
+        [](ReadReplica* r) { return r->stats().corrupt_frames_dropped; });
     m->RegisterHistogram(base + "lag_us", [this, i, alive]() -> const Histogram* {
       return alive() ? &replicas_[i]->stats().lag_us : nullptr;
     });
@@ -200,6 +204,9 @@ void AuroraCluster::RegisterAllMetrics() {
     m->RegisterCounter(base + "background_deferrals",
                        &s->background_deferrals);
     m->RegisterCounter(base + "stale_epoch_rejects", &s->stale_epoch_rejects);
+    m->RegisterCounter(base + "duplicate_batches", &s->duplicate_batches);
+    m->RegisterCounter(base + "corrupt_frames_dropped",
+                       &s->corrupt_frames_dropped);
     m->RegisterHistogram(base + "trace.gossip_fill_batch",
                          &s->gossip_fill_batch);
     m->RegisterCounter(base + "page_cache.hits",
@@ -254,6 +261,24 @@ void AuroraCluster::RegisterAllMetrics() {
     });
   }
 
+  // --- Storage fleet-wide robustness aggregates ---------------------------
+  {
+    auto sum = [this](uint64_t StorageNodeStats::*field) {
+      uint64_t total = 0;
+      for (const auto& sn : storage_nodes_) total += sn->stats().*field;
+      return total;
+    };
+    m->RegisterCounter("storage.stale_epoch_rejects", [sum] {
+      return sum(&StorageNodeStats::stale_epoch_rejects);
+    });
+    m->RegisterCounter("storage.duplicate_batches", [sum] {
+      return sum(&StorageNodeStats::duplicate_batches);
+    });
+    m->RegisterCounter("storage.corrupt_frames_dropped", [sum] {
+      return sum(&StorageNodeStats::corrupt_frames_dropped);
+    });
+  }
+
   // --- Network fabric ------------------------------------------------------
   {
     sim::Network* net = network_.get();
@@ -267,6 +292,19 @@ void AuroraCluster::RegisterAllMetrics() {
                        [net] { return net->total().bytes_sent; });
     m->RegisterCounter("net.total.messages_dropped",
                        [net] { return net->total().messages_dropped; });
+    m->RegisterCounter("net.adversary.duplicates_injected", [net] {
+      return net->adversary().duplicates_injected;
+    });
+    m->RegisterCounter("net.adversary.reordered",
+                       [net] { return net->adversary().reordered; });
+    m->RegisterCounter("net.adversary.corrupted_injected", [net] {
+      return net->adversary().corrupted_injected;
+    });
+    m->RegisterCounter("net.adversary.corrupted_dropped", [net] {
+      return net->adversary().corrupted_dropped;
+    });
+    m->RegisterCounter("net.adversary.oneway_blocked",
+                       [net] { return net->adversary().oneway_blocked; });
     for (sim::NodeId n = 0; n < topology_.num_nodes(); ++n) {
       const std::string base = "net." + topology_.name_of(n) + ".";
       m->RegisterCounter(base + "messages_sent",
@@ -280,6 +318,14 @@ void AuroraCluster::RegisterAllMetrics() {
       });
     }
   }
+
+  // --- Chaos tooling (zeros unless a ChaosEngine/InvariantChecker ran) ----
+  m->RegisterCounter("chaos.invariant_checks",
+                     &chaos_counters_.invariant_checks);
+  m->RegisterCounter("chaos.invariant_violations",
+                     &chaos_counters_.invariant_violations);
+  m->RegisterCounter("chaos.actions_executed",
+                     &chaos_counters_.actions_executed);
 
   // --- Repair, S3, event loop ---------------------------------------------
   m->RegisterCounter("repair.repairs_started",
@@ -347,6 +393,33 @@ Status AuroraCluster::FailoverToReplicaSync(size_t i) {
   retired_writers_.push_back(std::move(writer_));
   writer_ = std::move(promoted);
   writer_node_ = node;
+  return RecoverSync();
+}
+
+Status AuroraCluster::PromoteReplicaSync(size_t i) {
+  if (i >= replicas_.size()) {
+    return Status::InvalidArgument("no such replica");
+  }
+  // The old writer is NOT crashed and keeps its network registration: it
+  // continues to run with its stale volume epoch until storage fences it.
+  sim::NodeId node = replicas_[i]->node_id();
+  replicas_[i]->Crash();
+  sim::Instance* instance = replica_instances_[i].get();
+  Random rng(options_.seed ^ (0xC2B2AE3D27D4EB4Full + i));
+  auto promoted = std::make_unique<Database>(
+      &loop_, network_.get(), node, instance, control_plane_.get(),
+      options_.engine, rng.Fork());
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    if (r == i) continue;
+    promoted->AttachReplica(replicas_[r]->node_id());
+  }
+  retired_replicas_.push_back(std::move(replicas_[i]));
+  replicas_.erase(replicas_.begin() + static_cast<long>(i));
+  retired_writers_.push_back(std::move(writer_));
+  writer_ = std::move(promoted);
+  writer_node_ = node;
+  // Quorum recovery bumps the volume epoch and truncates the old writer's
+  // unacknowledged tail; from here on the zombie's batches are NAKed.
   return RecoverSync();
 }
 

@@ -26,6 +26,16 @@ namespace aurora {
 /// deterministic simulation: a region with three AZs, a storage fleet, the
 /// single writer, optional read replicas, S3, the control plane, the repair
 /// manager and a failure injector.
+/// Counters written by chaos tooling (sim/chaos.h). Owned by the cluster so
+/// that chaos.* metrics are registered for the cluster's whole lifetime and
+/// appear (as zeros) even in runs that never construct a ChaosEngine —
+/// keeping DumpMetricsJson()'s key set identical across configurations.
+struct ChaosCounters {
+  uint64_t invariant_checks = 0;
+  uint64_t invariant_violations = 0;
+  uint64_t actions_executed = 0;
+};
+
 struct ClusterOptions {
   int num_azs = 3;
   int storage_nodes_per_az = 4;
@@ -78,6 +88,19 @@ class AuroraCluster {
   /// previously acknowledged commit is preserved.
   Status FailoverToReplicaSync(size_t i);
 
+  /// Split-brain variant of FailoverToReplicaSync: promotes replica `i`
+  /// WITHOUT crashing or unhooking the old writer, which keeps running as a
+  /// zombie that does not know it has been superseded. Recovery on the
+  /// promoted engine bumps the volume epoch, so the zombie is fenced by
+  /// storage (kFenced NAK) the moment one of its write batches next lands.
+  /// The retired engine stays reachable via retired_writer() for
+  /// assertions.
+  Status PromoteReplicaSync(size_t i);
+
+  size_t num_retired_writers() const { return retired_writers_.size(); }
+  /// Engines retired by failover/promotion, oldest first.
+  Database* retired_writer(size_t i) { return retired_writers_.at(i).get(); }
+
   // --- Synchronous helpers (run the event loop until completion) ----------
   /// Bootstraps a fresh volume.
   Status BootstrapSync();
@@ -108,6 +131,10 @@ class AuroraCluster {
   /// One machine-readable JSON document with every metric in the cluster.
   std::string DumpMetricsJson() { return metrics_.ToJson(); }
 
+  /// Counters the chaos tooling (ChaosEngine / InvariantChecker) writes
+  /// into; surfaced as chaos.* in the metrics registry.
+  ChaosCounters* chaos_counters() { return &chaos_counters_; }
+
  private:
   void RegisterAllMetrics();
   ClusterOptions options_;
@@ -132,6 +159,7 @@ class AuroraCluster {
   std::vector<std::unique_ptr<Database>> retired_writers_;
   std::vector<std::unique_ptr<ReadReplica>> retired_replicas_;
 
+  ChaosCounters chaos_counters_;
   MetricsRegistry metrics_;
 };
 

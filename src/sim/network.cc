@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/crc32c.h"
+
 namespace aurora::sim {
 
 namespace {
@@ -20,13 +22,14 @@ void Network::Register(NodeId node, Handler handler) {
   handlers_[node] = std::move(handler);
 }
 
-bool Network::Reachable(NodeId a, NodeId b) const {
-  if (down_nodes_.count(a) || down_nodes_.count(b)) return false;
-  if (down_azs_.count(topology_->az_of(a)) ||
-      down_azs_.count(topology_->az_of(b))) {
+bool Network::Reachable(NodeId from, NodeId to) const {
+  if (down_nodes_.count(from) || down_nodes_.count(to)) return false;
+  if (down_azs_.count(topology_->az_of(from)) ||
+      down_azs_.count(topology_->az_of(to))) {
     return false;
   }
-  if (partitions_.count(Ordered(a, b))) return false;
+  if (partitions_.count(Ordered(from, to))) return false;
+  if (oneway_partitions_.count({from, to})) return false;
   return true;
 }
 
@@ -83,6 +86,7 @@ void Network::SendImpl(NodeId from, NodeId to, uint16_t type,
   nic_busy_until_[from] = start + transmit;
 
   if (!Reachable(from, to) || rng_.Bernoulli(drop_probability_)) {
+    if (oneway_partitions_.count({from, to})) adversary_.oneway_blocked++;
     s.messages_dropped++;
     return;
   }
@@ -96,18 +100,74 @@ void Network::SendImpl(NodeId from, NodeId to, uint16_t type,
   msg.header = std::move(header);
   msg.body = std::move(body);
   msg.sent_at = loop_->now();
+  // Frame checksum, stamped before any adversarial corruption so receivers
+  // can tell a mangled frame from a clean one.
+  msg.frame_crc = crc32c::Value(msg.header.data(), msg.header.size());
+  if (msg.body) {
+    msg.frame_crc =
+        crc32c::Extend(msg.frame_crc, msg.body->data(), msg.body->size());
+  }
 
+  // Adversary: bit-flip corruption. The body fragment may be shared with
+  // other in-flight fan-out copies, so corruption first materializes a
+  // private single-fragment payload — never mutate the shared body.
+  if (rng_.Bernoulli(corrupt_probability_) && wire_bytes > 0) {
+    if (msg.body) {
+      msg.header.append(*msg.body);
+      msg.body.reset();
+    }
+    uint64_t bit = rng_.Uniform(msg.header.size() * 8);
+    msg.header[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    adversary_.corrupted_injected++;
+  }
+
+  // Adversary: bounded reordering — an extra uniform delay lets messages
+  // inside the window overtake each other.
+  if (reorder_window_ > 0) {
+    SimDuration extra = rng_.UniformRange(0, reorder_window_);
+    if (extra > 0) {
+      deliver_at += extra;
+      adversary_.reordered++;
+    }
+  }
+
+  // Adversary: duplication. The copy shares the refcounted body and gets an
+  // independently drawn delivery time, so it can arrive before the original.
+  if (rng_.Bernoulli(duplicate_probability_)) {
+    SimTime dup_at = start + transmit + PropagationDelay(from, to);
+    if (reorder_window_ > 0) dup_at += rng_.UniformRange(0, reorder_window_);
+    adversary_.duplicates_injected++;
+    ScheduleDelivery(dup_at, msg);
+  }
+
+  ScheduleDelivery(deliver_at, std::move(msg));
+}
+
+void Network::ScheduleDelivery(SimTime at, Message msg) {
   // The delivery closure carries the message fragments as-is: the shared
   // body is never copied per receiver, and the whole capture fits EventFn's
   // inline buffer (no allocation per message in steady state).
-  loop_->ScheduleAt(deliver_at, [this, msg = std::move(msg)]() {
+  loop_->ScheduleAt(at, [this, msg = std::move(msg)]() {
     // Re-check reachability at delivery time: a crash while the message
     // was in flight loses it.
-    if (!Reachable(msg.from, msg.to)) return;
+    if (!Reachable(msg.from, msg.to)) {
+      if (oneway_partitions_.count({msg.from, msg.to})) {
+        adversary_.oneway_blocked++;
+      }
+      return;
+    }
     if (msg.to >= handlers_.size() || !handlers_[msg.to]) return;
     stats_[msg.to].messages_received++;
     handlers_[msg.to](msg);
   });
+}
+
+bool Network::VerifyFrame(const Message& msg) {
+  uint32_t crc = crc32c::Value(msg.header.data(), msg.header.size());
+  if (msg.body) crc = crc32c::Extend(crc, msg.body->data(), msg.body->size());
+  if (crc == msg.frame_crc) return true;
+  adversary_.corrupted_dropped++;
+  return false;
 }
 
 void Network::SetNodeDown(NodeId node, bool down) {
@@ -131,6 +191,14 @@ void Network::SetPartitioned(NodeId a, NodeId b, bool blocked) {
     partitions_.insert(Ordered(a, b));
   } else {
     partitions_.erase(Ordered(a, b));
+  }
+}
+
+void Network::SetPartitionedOneWay(NodeId from, NodeId to, bool blocked) {
+  if (blocked) {
+    oneway_partitions_.insert({from, to});
+  } else {
+    oneway_partitions_.erase({from, to});
   }
 }
 

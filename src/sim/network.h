@@ -34,6 +34,10 @@ struct Message {
   std::string header;
   std::shared_ptr<const std::string> body;
   SimTime sent_at = 0;
+  /// CRC32C over header+body, stamped by the fabric at send time (before any
+  /// adversarial corruption). Receivers verify via Network::VerifyFrame so a
+  /// bit-flipped frame is dropped before it reaches a decoder.
+  uint32_t frame_crc = 0;
 
   size_t payload_size() const {
     return header.size() + (body ? body->size() : 0);
@@ -72,6 +76,16 @@ struct NetStats {
   uint64_t packets_sent = 0;  // payloads fragmented at MTU granularity
   uint64_t bytes_sent = 0;
   uint64_t messages_dropped = 0;
+};
+
+/// Fabric-wide adversary counters (surfaced as net.adversary.*). All zero
+/// unless the corresponding knob is enabled.
+struct AdversaryStats {
+  uint64_t duplicates_injected = 0;  // extra deliveries scheduled
+  uint64_t reordered = 0;            // deliveries given extra scramble delay
+  uint64_t corrupted_injected = 0;   // frames with a bit flipped in transit
+  uint64_t corrupted_dropped = 0;    // frames rejected by VerifyFrame
+  uint64_t oneway_blocked = 0;       // sends/deliveries eaten by a one-way cut
 };
 
 /// The region's network fabric: delivers messages between registered hosts
@@ -118,8 +132,32 @@ class Network {
   bool IsAzDown(AzId az) const { return down_azs_.count(az) > 0; }
   /// Blocks (or unblocks) traffic between two specific nodes, both ways.
   void SetPartitioned(NodeId a, NodeId b, bool blocked);
+  /// Blocks (or unblocks) traffic in one direction only: `from` can no longer
+  /// reach `to`, but replies still flow. Models asymmetric network faults
+  /// (grey failures / half-open links) — the nastiest partition shape for a
+  /// lease-free writer, since it keeps receiving while its sends die.
+  void SetPartitionedOneWay(NodeId from, NodeId to, bool blocked);
   /// Probability in [0,1] that any message is lost in transit.
   void set_drop_probability(double p) { drop_probability_ = p; }
+
+  // --- Adversary knobs (all seeded-deterministic; zero RNG draws when off) -
+  /// Probability in [0,1] that a delivered message is delivered twice, the
+  /// copy at an independently drawn time (so the duplicate may arrive before
+  /// or long after the original).
+  void set_duplicate_probability(double p) { duplicate_probability_ = p; }
+  /// Extra uniform [0, window] delay added per delivery: messages inside the
+  /// window overtake each other, giving bounded reordering. 0 disables.
+  void set_reorder_window(SimDuration window) { reorder_window_ = window; }
+  /// Probability in [0,1] that a frame has one random payload bit flipped in
+  /// transit. The frame checksum (stamped pre-corruption) lets receivers
+  /// detect and drop such frames.
+  void set_corrupt_probability(double p) { corrupt_probability_ = p; }
+
+  /// Recomputes `msg`'s frame checksum; on mismatch counts the frame in
+  /// adversary().corrupted_dropped and returns false. Every receiver calls
+  /// this before decoding.
+  bool VerifyFrame(const Message& msg);
+
   /// Multiplies delivery latency for all traffic to/from `node` (slow node /
   /// hot spot modelling); 1.0 restores normal speed.
   void SetNodeLatencyFactor(NodeId node, double factor);
@@ -128,13 +166,16 @@ class Network {
   const NetStats& stats_of(NodeId node) const;
   NetStats total() const;
   void ResetStats();
+  const AdversaryStats& adversary() const { return adversary_; }
 
   const FabricOptions& options() const { return options_; }
 
  private:
   void SendImpl(NodeId from, NodeId to, uint16_t type, std::string header,
                 std::shared_ptr<const std::string> body);
-  bool Reachable(NodeId a, NodeId b) const;
+  void ScheduleDelivery(SimTime at, Message msg);
+  /// Directional: `from` can currently get a packet to `to`.
+  bool Reachable(NodeId from, NodeId to) const;
   SimDuration PropagationDelay(NodeId from, NodeId to);
   double LatencyFactor(NodeId n) const;
 
@@ -151,7 +192,13 @@ class Network {
   std::set<NodeId> down_nodes_;
   std::set<AzId> down_azs_;
   std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::set<std::pair<NodeId, NodeId>> oneway_partitions_;  // (from, to)
   double drop_probability_ = 0.0;
+
+  double duplicate_probability_ = 0.0;
+  SimDuration reorder_window_ = 0;
+  double corrupt_probability_ = 0.0;
+  AdversaryStats adversary_;
 };
 
 }  // namespace aurora::sim

@@ -92,6 +92,17 @@ class Segment {
   Lsn pgmrpl() const { return pgmrpl_; }
   Epoch epoch() const { return epoch_; }
 
+  /// Adopts `epoch` if it is newer than the segment's current epoch without
+  /// truncating anything (write batches and gossip from a promoted writer
+  /// fence this segment forward; see Truncate for the annulling path).
+  /// Returns true if the epoch advanced. The epoch is part of SerializeTo,
+  /// so adoption is durable once the node next persists.
+  bool ObserveEpoch(Epoch epoch) {
+    if (epoch <= epoch_) return false;
+    epoch_ = epoch;
+    return true;
+  }
+
   /// Completeness snapshot for idle PGs: as of volume VDL `vdl_snapshot`,
   /// this PG's newest record is `pg_tail`. Lets GetPageAsOf serve read
   /// points up to vdl_snapshot once the chain reaches pg_tail.

@@ -52,6 +52,7 @@ const Segment* StorageNode::segment(PgId pg) const {
 void StorageNode::Crash() {
   crashed_ = true;
   ++generation_;
+  applied_batches_.clear();
   // Cancel the background timers outright (same pattern as
   // Database::Crash()): the generation guard already neutralizes them, but
   // leaving them queued grows the event loop's pending set on every
@@ -138,6 +139,10 @@ void StorageNode::ScheduleBackgroundTasks() {
 
 void StorageNode::HandleMessage(const sim::Message& msg) {
   if (crashed_) return;
+  if (!network_->VerifyFrame(msg)) {
+    ++stats_.corrupt_frames_dropped;
+    return;
+  }
   switch (msg.type) {
     case kMsgWriteBatch:
       HandleWriteBatch(msg);
@@ -182,6 +187,45 @@ void StorageNode::HandleWriteBatch(const sim::Message& msg) {
   Segment* seg = segment(batch.pg);
   if (seg == nullptr) return;  // not a member (anymore)
   ++stats_.batches_received;
+
+  // Epoch fence: a batch stamped with an older volume epoch comes from a
+  // writer that was superseded by a failover. Reject without applying and
+  // tell the sender which epoch fenced it so it can demote itself.
+  if (batch.epoch < seg->epoch()) {
+    ++stats_.stale_epoch_rejects;
+    WriteAckMsg nak;
+    nak.pg = batch.pg;
+    nak.replica = batch.replica;
+    nak.batch_seq = batch.batch_seq;
+    nak.scl = seg->scl();
+    nak.status_code = static_cast<uint8_t>(Status::Code::kFenced);
+    nak.epoch = seg->epoch();
+    std::string payload;
+    nak.EncodeTo(&payload);
+    network_->Send(id_, msg.from, kMsgWriteAck, std::move(payload));
+    return;
+  }
+
+  // Idempotent delivery: a batch the segment has already fully applied under
+  // this epoch (network duplicate, or a sender retry that crossed the ack in
+  // flight) is re-acked immediately without another persist or apply.
+  auto& seen = applied_batches_[batch.pg];
+  auto dup = seen.find(batch.batch_seq);
+  if (dup != seen.end() && dup->second == batch.epoch) {
+    ++stats_.duplicate_batches;
+    WriteAckMsg ack;
+    ack.pg = batch.pg;
+    ack.replica = batch.replica;
+    ack.batch_seq = batch.batch_seq;
+    ack.scl = seg->scl();
+    ack.epoch = seg->epoch();
+    std::string payload;
+    ack.EncodeTo(&payload);
+    network_->Send(id_, msg.from, kMsgWriteAck, std::move(payload));
+    ++stats_.acks_sent;
+    return;
+  }
+
   stats_.records_received += batch.records.size();
 
   // Figure 4 steps 1-2: queue, persist on disk, then acknowledge. The disk
@@ -195,16 +239,23 @@ void StorageNode::HandleWriteBatch(const sim::Message& msg) {
     if (gen != generation_ || crashed_ || !s.ok()) return;
     Segment* seg = segment(batch.pg);
     if (seg == nullptr) return;
+    seg->ObserveEpoch(batch.epoch);
     seg->SetVdlHint(batch.vdl_hint);
     seg->SetPgmrpl(batch.pgmrpl_hint);
     for (const LogRecord& r : batch.records) {
       seg->AddRecord(r);
     }
+    // Mark the batch applied only now that it is persisted and integrated;
+    // bound the per-PG memory by pruning the oldest seqs.
+    auto& applied = applied_batches_[batch.pg];
+    applied[batch.batch_seq] = batch.epoch;
+    while (applied.size() > 4096) applied.erase(applied.begin());
     WriteAckMsg ack;
     ack.pg = batch.pg;
     ack.replica = batch.replica;
     ack.batch_seq = batch.batch_seq;
     ack.scl = seg->scl();
+    ack.epoch = seg->epoch();
     std::string payload;
     ack.EncodeTo(&payload);
     network_->Send(id_, from, kMsgWriteAck, std::move(payload));
@@ -228,6 +279,12 @@ void StorageNode::HandleReadPage(const sim::Message& msg) {
       resp.status_code = static_cast<uint8_t>(Status::Code::kIOError);
     } else if (seg == nullptr) {
       resp.status_code = static_cast<uint8_t>(Status::Code::kNotFound);
+      ++stats_.page_read_errors;
+    } else if (req.epoch != 0 && req.epoch < seg->epoch()) {
+      // Epoch fence on the read path: a zombie writer must not serve reads
+      // off quorum state that a promotion has superseded.
+      resp.status_code = static_cast<uint8_t>(Status::Code::kFenced);
+      ++stats_.stale_epoch_rejects;
       ++stats_.page_read_errors;
     } else {
       Result<Page> page = seg->GetPageAsOf(req.page, req.read_point);
@@ -326,6 +383,7 @@ void StorageNode::GossipTick() {
     GossipPullMsg pull;
     pull.pg = pg;
     pull.replica = static_cast<ReplicaIdx>(self);
+    pull.epoch = seg->epoch();
     pull.scl = seg->scl();
     pull.max_lsn = seg->max_lsn();
     std::string payload;
@@ -341,13 +399,16 @@ void StorageNode::HandleGossipPull(const sim::Message& msg) {
   if (!GossipPullMsg::DecodeFrom(msg.payload(), &pull).ok()) return;
   Segment* seg = segment(pull.pg);
   if (seg == nullptr) return;
+  // A puller on a newer epoch fences this segment forward (it clearly
+  // survived a promotion this replica slept through).
+  seg->ObserveEpoch(pull.epoch);
   if (seg->max_lsn() <= pull.scl) return;  // nothing to offer
   std::vector<const LogRecord*> records =
       seg->RecordsAbove(pull.scl, options_.gossip_max_records);
   if (records.empty()) return;
   stats_.gossip_records_sent += records.size();
   std::string payload;
-  GossipPushMsg::EncodeRecordsTo(pull.pg, records, &payload);
+  GossipPushMsg::EncodeRecordsTo(pull.pg, seg->epoch(), records, &payload);
   network_->Send(id_, msg.from, kMsgGossipPush, std::move(payload));
 }
 
@@ -356,6 +417,14 @@ void StorageNode::HandleGossipPush(const sim::Message& msg) {
   if (!GossipPushMsg::DecodeFrom(msg.payload(), &push).ok()) return;
   Segment* seg = segment(push.pg);
   if (seg == nullptr) return;
+  // Epoch gate: a push from a segment on an older epoch may carry records a
+  // recovery truncation annulled (truncation needs only a 4/6 quorum, so a
+  // partitioned peer can survive with them). Dropping the push wholesale
+  // keeps annulled records from resurrecting here.
+  if (push.epoch < seg->epoch()) {
+    ++stats_.stale_epoch_rejects;
+    return;
+  }
   // Persist backfilled records before integrating them, same as writer
   // batches.
   const uint64_t gen = generation_;
@@ -364,6 +433,7 @@ void StorageNode::HandleGossipPush(const sim::Message& msg) {
     if (gen != generation_ || crashed_ || !s.ok()) return;
     Segment* seg = segment(push.pg);
     if (seg == nullptr) return;
+    seg->ObserveEpoch(push.epoch);
     uint64_t filled = 0;
     for (const LogRecord& r : push.records) {
       if (seg->AddRecord(r)) ++filled;

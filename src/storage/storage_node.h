@@ -58,6 +58,11 @@ struct StorageNodeStats {
   uint64_t backup_objects = 0;
   uint64_t background_deferrals = 0;
   uint64_t stale_epoch_rejects = 0;
+  /// Write batches already applied once and re-acked without re-applying
+  /// (network duplicates / sender retries racing an in-flight ack).
+  uint64_t duplicate_batches = 0;
+  /// Frames that failed the fabric checksum at this node and were dropped.
+  uint64_t corrupt_frames_dropped = 0;
   /// Records back-filled per gossip push integrated (hole-repair depth —
   /// how far behind this replica had fallen when gossip healed it).
   Histogram gossip_fill_batch;
@@ -148,6 +153,13 @@ class StorageNode {
   std::map<PgId, std::unique_ptr<Segment>> segments_;
   std::function<void(PgId)> segment_installed_cb_;
   StorageNodeStats stats_;
+  /// Write batches fully applied (persisted + integrated), keyed per PG as
+  /// batch_seq -> epoch. Consulted on receipt so a duplicated or retried
+  /// batch is re-acked without re-persisting; marked only after the disk
+  /// write completes (marking at receipt could ack a retry whose records a
+  /// crash just lost). Volatile — cleared on Crash(), which is safe because
+  /// re-applying a batch after restart is idempotent (AddRecord dedups).
+  std::map<PgId, std::map<uint64_t, Epoch>> applied_batches_;
   /// Outstanding background timers, cancelled on Crash() so repeated
   /// crash/restart cycles don't leak dead events in the loop (the
   /// generation guard already makes them no-ops).

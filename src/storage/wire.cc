@@ -77,6 +77,8 @@ void WriteAckMsg::EncodeTo(std::string* dst) const {
   dst->push_back(static_cast<char>(replica));
   PutVarint64(dst, batch_seq);
   PutVarint64(dst, scl);
+  dst->push_back(static_cast<char>(status_code));
+  PutVarint64(dst, epoch);
 }
 
 Status WriteAckMsg::DecodeFrom(Slice input, WriteAckMsg* out) {
@@ -86,9 +88,12 @@ Status WriteAckMsg::DecodeFrom(Slice input, WriteAckMsg* out) {
   out->replica = static_cast<ReplicaIdx>(input[0]);
   input.remove_prefix(1);
   if (!GetVarint64(&input, &out->batch_seq) ||
-      !GetVarint64(&input, &out->scl)) {
+      !GetVarint64(&input, &out->scl) || input.empty()) {
     return Malformed("ack");
   }
+  out->status_code = static_cast<uint8_t>(input[0]);
+  input.remove_prefix(1);
+  if (!GetVarint64(&input, &out->epoch)) return Malformed("ack");
   return Status::OK();
 }
 
@@ -97,13 +102,15 @@ void ReadPageReqMsg::EncodeTo(std::string* dst) const {
   PutVarint32(dst, pg);
   PutVarint64(dst, page);
   PutVarint64(dst, read_point);
+  PutVarint64(dst, epoch);
 }
 
 Status ReadPageReqMsg::DecodeFrom(Slice input, ReadPageReqMsg* out) {
   uint32_t pg;
   if (!GetVarint64(&input, &out->req_id) || !GetVarint32(&input, &pg) ||
       !GetVarint64(&input, &out->page) ||
-      !GetVarint64(&input, &out->read_point)) {
+      !GetVarint64(&input, &out->read_point) ||
+      !GetVarint64(&input, &out->epoch)) {
     return Malformed("read req");
   }
   out->pg = pg;
@@ -176,6 +183,9 @@ Status InventoryRespMsg::DecodeFrom(Slice input, InventoryRespMsg* out) {
       !GetVarint64(&input, &out->vdl_hint) || !GetVarint64(&input, &n)) {
     return Malformed("inventory resp");
   }
+  // Each entry needs at least 4 bytes on the wire; cap the reserve so a
+  // corrupt count can't drive a huge allocation before parsing fails.
+  if (n > input.size() / 4) return Malformed("inventory count");
   out->entries.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     InventoryEntry e;
@@ -257,6 +267,7 @@ Status PgmrplMsg::DecodeFrom(Slice input, PgmrplMsg* out) {
 void GossipPullMsg::EncodeTo(std::string* dst) const {
   PutVarint32(dst, pg);
   dst->push_back(static_cast<char>(replica));
+  PutVarint64(dst, epoch);
   PutVarint64(dst, scl);
   PutVarint64(dst, max_lsn);
 }
@@ -267,7 +278,8 @@ Status GossipPullMsg::DecodeFrom(Slice input, GossipPullMsg* out) {
   out->pg = pg;
   out->replica = static_cast<ReplicaIdx>(input[0]);
   input.remove_prefix(1);
-  if (!GetVarint64(&input, &out->scl) || !GetVarint64(&input, &out->max_lsn)) {
+  if (!GetVarint64(&input, &out->epoch) || !GetVarint64(&input, &out->scl) ||
+      !GetVarint64(&input, &out->max_lsn)) {
     return Malformed("gossip");
   }
   return Status::OK();
@@ -275,15 +287,17 @@ Status GossipPullMsg::DecodeFrom(Slice input, GossipPullMsg* out) {
 
 void GossipPushMsg::EncodeTo(std::string* dst) const {
   PutVarint32(dst, pg);
+  PutVarint64(dst, epoch);
   std::string blob;
   EncodeRecordBatch(records, &blob);
   PutLengthPrefixedSlice(dst, blob);
 }
 
-void GossipPushMsg::EncodeRecordsTo(PgId pg,
+void GossipPushMsg::EncodeRecordsTo(PgId pg, Epoch epoch,
                                     const std::vector<const LogRecord*>& records,
                                     std::string* dst) {
   PutVarint32(dst, pg);
+  PutVarint64(dst, epoch);
   std::string blob;
   EncodeRecordBatch(records, &blob);
   PutLengthPrefixedSlice(dst, blob);
@@ -292,7 +306,8 @@ void GossipPushMsg::EncodeRecordsTo(PgId pg,
 Status GossipPushMsg::DecodeFrom(Slice input, GossipPushMsg* out) {
   uint32_t pg;
   Slice blob;
-  if (!GetVarint32(&input, &pg) || !GetLengthPrefixedSlice(&input, &blob)) {
+  if (!GetVarint32(&input, &pg) || !GetVarint64(&input, &out->epoch) ||
+      !GetLengthPrefixedSlice(&input, &blob)) {
     return Malformed("gossip push");
   }
   out->pg = pg;

@@ -81,12 +81,17 @@ struct WriteBatchMsg {
                          std::string* dst);
 };
 
-/// Segment replica -> writer: batch persisted on disk (Figure 4 step 2).
+/// Segment replica -> writer: batch persisted on disk (Figure 4 step 2), or
+/// — when `status_code` is kFenced — rejected because the segment has seen a
+/// newer volume epoch than the batch carried. `epoch` echoes the segment's
+/// epoch so a fenced writer learns how far ahead the volume moved.
 struct WriteAckMsg {
   PgId pg = 0;
   ReplicaIdx replica = 0;
   uint64_t batch_seq = 0;
   Lsn scl = kInvalidLsn;
+  uint8_t status_code = 0;  // Status::Code: kOk or kFenced
+  Epoch epoch = 0;          // the segment's current volume epoch
 
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice input, WriteAckMsg* out);
@@ -99,6 +104,11 @@ struct ReadPageReqMsg {
   PgId pg = 0;
   PageId page = kInvalidPage;
   Lsn read_point = kInvalidLsn;
+  /// The requester's volume epoch; a segment that has seen a newer epoch
+  /// answers kFenced so a zombie writer can't serve reads off stale quorum
+  /// state. 0 means "unfenced" (replicas read through the stream watermark
+  /// and are epoch-agnostic).
+  Epoch epoch = 0;
 
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice input, ReadPageReqMsg* out);
@@ -190,6 +200,7 @@ struct PgmrplMsg {
 struct GossipPullMsg {
   PgId pg = 0;
   ReplicaIdx replica = 0;  // sender
+  Epoch epoch = 0;         // sender's segment epoch
   Lsn scl = kInvalidLsn;
   Lsn max_lsn = kInvalidLsn;
 
@@ -197,8 +208,13 @@ struct GossipPullMsg {
   static Status DecodeFrom(Slice input, GossipPullMsg* out);
 };
 
+/// Peer gossip fill. Carries the sender's segment epoch: a receiver on a
+/// newer epoch drops the push wholesale, so a segment that missed a
+/// truncation (only 4/6 ack it) cannot resurrect annulled records into
+/// peers that already truncated.
 struct GossipPushMsg {
   PgId pg = 0;
+  Epoch epoch = 0;
   std::vector<LogRecord> records;
 
   void EncodeTo(std::string* dst) const;
@@ -207,7 +223,7 @@ struct GossipPushMsg {
   /// Encodes straight from hot-log record views (Segment::RecordsAbove) —
   /// byte-identical to filling `records` and calling EncodeTo, minus the
   /// deep copy of every record payload.
-  static void EncodeRecordsTo(PgId pg,
+  static void EncodeRecordsTo(PgId pg, Epoch epoch,
                               const std::vector<const LogRecord*>& records,
                               std::string* dst);
 };

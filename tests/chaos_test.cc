@@ -4,6 +4,7 @@
 #include <string>
 
 #include "harness/cluster.h"
+#include "sim/chaos.h"
 #include "tests/test_util.h"
 
 namespace aurora {
@@ -11,11 +12,25 @@ namespace {
 
 using testing::Key;
 
+// The adversary profile the chaos suite runs under (the acceptance bar for
+// the fabric-hardening work): duplicated, reordered, corrupted and dropped
+// frames all at once.
+AdversaryConfig ChaosAdversary() {
+  AdversaryConfig cfg;
+  cfg.drop_probability = 0.02;
+  cfg.duplicate_probability = 0.05;
+  cfg.reorder_window = Millis(2);
+  cfg.corrupt_probability = 0.001;
+  return cfg;
+}
+
 // Property: under randomized chaos — background node crashes, an AZ outage,
-// message loss, a slow node, plus a writer crash — every acknowledged
-// commit remains readable afterwards, and the storage fleet converges.
-// This is the paper's durability contract ("data, once written, can be
-// read", §2) executed end-to-end, parameterized over seeds.
+// a slow node, a writer crash — composed with the full fabric adversary
+// (duplication, bounded reorder, bit-flip corruption, loss), every
+// acknowledged commit remains readable afterwards and no continuously
+// checked invariant is ever violated. This is the paper's durability
+// contract ("data, once written, can be read", §2) executed end-to-end,
+// parameterized over seeds.
 class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
@@ -35,33 +50,36 @@ TEST_P(ChaosTest, AckedCommitsSurviveEverything) {
   PageId table = *cluster.TableAnchorSync("t");
 
   Random rng(GetParam() * 31 + 1);
-  // Chaos environment: lossy network + background crash noise.
-  cluster.network()->set_drop_probability(0.005);
+  ChaosEngine chaos(&cluster);
+  chaos.SetAdversary(ChaosAdversary());
+  chaos.StartChecker();
   cluster.failure_injector()->EnableBackgroundNoise(Minutes(2), Seconds(1));
 
+  // Enough rounds that the 0.001 corruption rate is expected to fire well
+  // over 10 times per run — the corrupted_injected > 0 assertion below
+  // would otherwise be flaky at the unluckier seeds (~2.5k frames/6 rounds).
   std::map<std::string, std::string> acked;
   int attempts = 0;
-  for (int round = 0; round < 6; ++round) {
-    // One targeted disruption per round.
+  for (int round = 0; round < 24; ++round) {
+    // One targeted disruption per round, scripted on the chaos timeline so
+    // it lands while the round's writes are in flight.
     switch (round % 3) {
       case 0:
-        cluster.failure_injector()->FailAz(
-            static_cast<sim::AzId>(rng.Uniform(3)), Seconds(2));
+        chaos.FailAzAt(Millis(5), static_cast<sim::AzId>(rng.Uniform(3)),
+                       Seconds(2));
         break;
-      case 1: {
-        sim::NodeId victim =
+      case 1:
+        chaos.SlowNodeAt(
+            Millis(5),
             cluster.storage_node(rng.Uniform(cluster.num_storage_nodes()))
-                ->id();
-        cluster.failure_injector()->SlowNode(victim, 50.0, Seconds(2));
+                ->id(),
+            50.0, Seconds(2));
         break;
-      }
-      case 2: {
-        sim::NodeId victim =
-            cluster.storage_node(rng.Uniform(cluster.num_storage_nodes()))
-                ->id();
-        cluster.failure_injector()->CrashNode(victim, Seconds(3));
+      case 2:
+        chaos.CrashStorageAt(Millis(5),
+                             rng.Uniform(cluster.num_storage_nodes()),
+                             Seconds(3));
         break;
-      }
     }
     for (int i = 0; i < 25; ++i) {
       std::string key = Key(rng.Uniform(200));
@@ -72,10 +90,21 @@ TEST_P(ChaosTest, AckedCommitsSurviveEverything) {
         acked[key] = value;
       }
     }
-    cluster.RunFor(Millis(500));
+    chaos.Run(Millis(500));
   }
   cluster.failure_injector()->DisableBackgroundNoise();
-  cluster.network()->set_drop_probability(0.0);
+
+  // The adversary must actually have attacked the fabric, and corrupted
+  // frames that reached a receiver must have been caught by the frame
+  // checksum.
+  const sim::AdversaryStats& adv = cluster.network()->adversary();
+  EXPECT_GT(adv.duplicates_injected, 0u) << "seed " << GetParam();
+  EXPECT_GT(adv.reordered, 0u) << "seed " << GetParam();
+  EXPECT_GT(adv.corrupted_injected, 0u) << "seed " << GetParam();
+  // Note: dropped can exceed injected — a corrupted frame that is then
+  // duplicated is verified (and rejected) once per delivery.
+  EXPECT_GT(adv.corrupted_dropped, 0u) << "seed " << GetParam();
+  chaos.ClearAdversary();
 
   // The vast majority of writes must have committed despite the chaos
   // (quorum absorbs everything we threw).
@@ -84,7 +113,7 @@ TEST_P(ChaosTest, AckedCommitsSurviveEverything) {
   // Writer crash + recovery on top of it all.
   cluster.CrashWriter();
   ASSERT_TRUE(cluster.RecoverSync().ok());
-  cluster.RunFor(Seconds(5));  // gossip/repair convergence
+  chaos.Run(Seconds(5));  // gossip/repair convergence
 
   for (const auto& [key, value] : acked) {
     auto got = cluster.GetSync(table, key);
@@ -92,10 +121,17 @@ TEST_P(ChaosTest, AckedCommitsSurviveEverything) {
                           << got.status().ToString();
     EXPECT_EQ(*got, value) << "seed " << GetParam() << " key " << key;
   }
+
+  chaos.StopChecker();
+  EXPECT_GT(chaos.checker()->checks(), 0u);
+  EXPECT_TRUE(chaos.checker()->violations().empty())
+      << "seed " << GetParam() << " first violation: "
+      << chaos.checker()->violations().front();
 }
 
-// Property: repeated crash/recover cycles interleaved with writes never
-// lose an acked commit and never resurrect a rolled-back one.
+// Property: repeated crash/recover cycles interleaved with writes (under
+// the same fabric adversary) never lose an acked commit and never resurrect
+// a rolled-back one.
 class CrashLoopTest : public ::testing::TestWithParam<uint64_t> {};
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashLoopTest, ::testing::Values(3, 99, 777));
@@ -110,6 +146,10 @@ TEST_P(CrashLoopTest, AckedSurvivesUnackedRollsBack) {
   ASSERT_TRUE(cluster.BootstrapSync().ok());
   ASSERT_TRUE(cluster.CreateTableSync("t").ok());
   PageId table = *cluster.TableAnchorSync("t");
+
+  ChaosEngine chaos(&cluster);
+  chaos.SetAdversary(ChaosAdversary());
+  chaos.StartChecker();
 
   Random rng(GetParam());
   std::map<std::string, std::string> acked;
@@ -130,7 +170,7 @@ TEST_P(CrashLoopTest, AckedSurvivesUnackedRollsBack) {
                             put_done = true;
                           });
     cluster.RunUntil([&] { return put_done; }, Seconds(10));
-    cluster.RunFor(Millis(100));
+    chaos.Run(Millis(100));
 
     cluster.CrashWriter();
     bool undo_done = false;
@@ -141,11 +181,15 @@ TEST_P(CrashLoopTest, AckedSurvivesUnackedRollsBack) {
         cluster.GetSync(table, orphan_key).status().IsNotFound())
         << "round " << round;
   }
+  chaos.ClearAdversary();
   for (const auto& [key, value] : acked) {
     auto got = cluster.GetSync(table, key);
     ASSERT_TRUE(got.ok()) << key;
     EXPECT_EQ(*got, value) << key;
   }
+  chaos.StopChecker();
+  EXPECT_TRUE(chaos.checker()->violations().empty())
+      << "first violation: " << chaos.checker()->violations().front();
 }
 
 // Regression: Crash() must Cancel() every timer whose closure captures the

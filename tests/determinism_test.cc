@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "harness/cluster.h"
+#include "sim/chaos.h"
 #include "sim/event_loop.h"
 #include "tests/test_util.h"
 
@@ -24,8 +25,11 @@ using testing::Key;
 
 /// Runs one fixed seeded workload — bootstrap, chaos (drops + AZ failure +
 /// node crash, which exercise Cancel() heavily), writer crash + recovery —
-/// and returns the full metrics dump plus the executed-event count.
-std::pair<std::string, uint64_t> RunSeededWorkload(uint64_t seed) {
+/// and returns the full metrics dump plus the executed-event count. With
+/// `adversary` set, the fabric additionally duplicates, reorders and
+/// corrupts frames (all drawn from the seeded network RNG).
+std::pair<std::string, uint64_t> RunSeededWorkload(uint64_t seed,
+                                                   bool adversary = false) {
   ClusterOptions o;
   o.seed = seed;
   o.engine.page_size = 4096;
@@ -40,7 +44,17 @@ std::pair<std::string, uint64_t> RunSeededWorkload(uint64_t seed) {
   PageId table = *cluster.TableAnchorSync("t");
 
   Random rng(seed * 131 + 7);
-  cluster.network()->set_drop_probability(0.01);
+  ChaosEngine chaos(&cluster);
+  if (adversary) {
+    AdversaryConfig cfg;
+    cfg.drop_probability = 0.02;
+    cfg.duplicate_probability = 0.05;
+    cfg.reorder_window = Millis(2);
+    cfg.corrupt_probability = 0.001;
+    chaos.SetAdversary(cfg);
+  } else {
+    cluster.network()->set_drop_probability(0.01);
+  }
   std::map<std::string, std::string> acked;
   for (int round = 0; round < 3; ++round) {
     if (round == 1) {
@@ -58,7 +72,7 @@ std::pair<std::string, uint64_t> RunSeededWorkload(uint64_t seed) {
     }
     cluster.RunFor(Millis(300));
   }
-  cluster.network()->set_drop_probability(0.0);
+  chaos.ClearAdversary();
   cluster.CrashWriter();
   EXPECT_TRUE(cluster.RecoverSync().ok());
   cluster.RunFor(Seconds(2));
@@ -81,6 +95,23 @@ TEST(DeterminismTest, SeededWorkloadIsByteIdentical) {
   auto [json_b, executed_b] = RunSeededWorkload(20260806);
   EXPECT_EQ(executed_a, executed_b);
   EXPECT_EQ(json_a, json_b);
+}
+
+// The adversary (duplication + reorder + corruption) draws all its
+// randomness from the seeded network RNG, so an adversary-on run must be
+// exactly as reproducible as a clean one — the acceptance bar for using it
+// in chaos CI.
+TEST(DeterminismTest, AdversaryRunIsByteIdentical) {
+  auto [json_a, executed_a] = RunSeededWorkload(20260806, /*adversary=*/true);
+  auto [json_b, executed_b] = RunSeededWorkload(20260806, /*adversary=*/true);
+  EXPECT_EQ(executed_a, executed_b);
+  EXPECT_EQ(json_a, json_b);
+  // The adversary must have actually done something, or this proves nothing.
+  // (ToJson nests dotted names, so look for the leaf key.)
+  EXPECT_NE(json_a.find("\"duplicates_injected\""), std::string::npos);
+  auto [clean, clean_events] = RunSeededWorkload(20260806, /*adversary=*/false);
+  (void)clean_events;
+  EXPECT_NE(json_a, clean);
 }
 
 // Different seeds must actually diverge, otherwise the test above proves

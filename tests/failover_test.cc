@@ -3,6 +3,7 @@
 #include <string>
 
 #include "harness/cluster.h"
+#include "sim/chaos.h"
 #include "tests/test_util.h"
 
 namespace aurora {
@@ -25,6 +26,8 @@ TEST(FailoverTest, PromotedReplicaServesAllCommittedData) {
   ASSERT_TRUE(cluster.BootstrapSync().ok());
   ASSERT_TRUE(cluster.CreateTableSync("t").ok());
   PageId table = *cluster.TableAnchorSync("t");
+  ChaosEngine chaos(&cluster);
+  chaos.StartChecker();
   for (int i = 0; i < 80; ++i) {
     ASSERT_TRUE(cluster.PutSync(table, Key(i), "v" + std::to_string(i)).ok());
   }
@@ -42,6 +45,9 @@ TEST(FailoverTest, PromotedReplicaServesAllCommittedData) {
     ASSERT_TRUE(got.ok()) << i << ": " << got.status().ToString();
     EXPECT_EQ(*got, "v" + std::to_string(i));
   }
+  chaos.StopChecker();
+  EXPECT_TRUE(chaos.checker()->violations().empty())
+      << chaos.checker()->violations().front();
 }
 
 TEST(FailoverTest, NewWriterAcceptsWritesAndFeedsSurvivingReplica) {
@@ -76,6 +82,100 @@ TEST(FailoverTest, FailoverIsFast) {
   // Same bound the paper gives for crash recovery: storage did all the
   // redo work already, so failover is a quorum round-trip, not a replay.
   EXPECT_LT(cluster.loop()->now() - t0, Seconds(10));
+}
+
+// Split-brain: the old writer is partitioned (NOT crashed) while a replica
+// is promoted, then the partition heals and the zombie comes back swinging.
+// End-to-end epoch fencing must (a) NAK the zombie's stale-epoch batches at
+// storage (stale_epoch_rejects), (b) demote the zombie — it stops acking
+// commits, fails the ones it was sitting on with kFenced, and surfaces
+// fenced() — and (c) leave the volume without divergence: everything acked
+// by either incarnation reads back correctly through the survivor.
+TEST(FailoverTest, ZombieWriterIsFencedAfterPartitionHeals) {
+  AuroraCluster cluster(FailoverCluster());
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+  ChaosEngine chaos(&cluster);
+  chaos.StartChecker();
+
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(cluster.PutSync(table, Key(i), "v" + std::to_string(i)).ok());
+  }
+
+  // Cut the writer off from the world. It keeps running — a zombie that
+  // does not know it is about to be superseded.
+  sim::NodeId zombie_node = cluster.writer_node();
+  Database* zombie = cluster.writer();
+  chaos.IsolateAt(Millis(1), zombie_node);
+  chaos.Run(Millis(10));
+
+  // The zombie accepts a write locally (pages are cached; the batch just
+  // cannot reach storage) and parks the commit waiting for a durability ack
+  // that will never come.
+  Status zombie_commit = Status::OK();
+  bool zombie_commit_done = false;
+  TxnId ztxn = zombie->Begin();
+  zombie->Put(ztxn, table, "zombie-key", "from-the-grave", [&](Status s) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    zombie->Commit(ztxn, [&](Status cs) {
+      zombie_commit = cs;
+      zombie_commit_done = true;
+    });
+  });
+  chaos.Run(Millis(200));
+  EXPECT_FALSE(zombie_commit_done);  // no quorum, no ack
+  EXPECT_TRUE(zombie->is_open());
+
+  // Promote a replica behind the zombie's back. Recovery bumps the volume
+  // epoch and truncates the zombie's unacknowledged tail.
+  ASSERT_TRUE(cluster.PromoteReplicaSync(0).ok());
+  EXPECT_EQ(cluster.num_retired_writers(), 1u);
+  ASSERT_TRUE(cluster.PutSync(table, "post-promotion", "new-writer").ok());
+
+  // Heal the partition: the zombie's batch retries now reach storage, meet
+  // the bumped epoch, and are NAKed with kFenced.
+  chaos.HealAt(Millis(1), zombie_node);
+  ASSERT_TRUE(
+      cluster.RunUntil([&] { return zombie->fenced(); }, Seconds(30)));
+
+  // (b) Graceful demotion: closed, fenced, the parked commit failed with
+  // kFenced, and the engine is not endlessly retrying (its pipeline is
+  // drained).
+  EXPECT_TRUE(zombie->fenced());
+  EXPECT_FALSE(zombie->is_open());
+  ASSERT_TRUE(zombie_commit_done);
+  EXPECT_TRUE(zombie_commit.IsFenced()) << zombie_commit.ToString();
+  EXPECT_GE(zombie->stats().fenced_rejections, 1u);
+  // New work is refused with the demotion status, not retried.
+  Status late = Status::OK();
+  zombie->Put(zombie->Begin(), table, "late", "write", [&](Status s) {
+    late = s;
+  });
+  cluster.RunFor(Millis(50));
+  EXPECT_TRUE(late.IsFenced()) << late.ToString();
+
+  // (a) Storage counted at least one stale-epoch rejection.
+  uint64_t stale_rejects = 0;
+  for (size_t i = 0; i < cluster.num_storage_nodes(); ++i) {
+    stale_rejects += cluster.storage_node(i)->stats().stale_epoch_rejects;
+  }
+  EXPECT_GE(stale_rejects, 1u);
+
+  // (c) No divergence: the zombie's unacked write is gone (annulled), every
+  // commit acked before the split and after the promotion reads back, and
+  // the continuously checked invariants never tripped.
+  chaos.Run(Seconds(2));
+  EXPECT_TRUE(cluster.GetSync(table, "zombie-key").status().IsNotFound());
+  EXPECT_EQ(*cluster.GetSync(table, "post-promotion"), "new-writer");
+  for (int i = 0; i < 40; ++i) {
+    auto got = cluster.GetSync(table, Key(i));
+    ASSERT_TRUE(got.ok()) << i << ": " << got.status().ToString();
+    EXPECT_EQ(*got, "v" + std::to_string(i));
+  }
+  chaos.StopChecker();
+  EXPECT_TRUE(chaos.checker()->violations().empty())
+      << chaos.checker()->violations().front();
 }
 
 }  // namespace
