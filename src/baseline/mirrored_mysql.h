@@ -248,6 +248,9 @@ class MirroredMySql : public WalSink, public PageProvider {
   bool checkpointing_ = false;
   bool lru_flush_in_flight_ = false;
   uint64_t generation_ = 0;
+  // Periodic checkpoint re-arm; cancelled by Crash() so crash/restart
+  // cycles do not accumulate pending events in the loop.
+  sim::EventId checkpoint_timer_ = 0;
   MysqlStats stats_;
 };
 

@@ -187,29 +187,35 @@ std::string MetricsSnapshot::ToJson() const {
 }
 
 void MetricsRegistry::RegisterCounter(const std::string& name, CounterFn fn) {
+  MutexLock lock(&mu_);
   counters_[name] = std::move(fn);
 }
 
 void MetricsRegistry::RegisterCounter(const std::string& name,
                                       const uint64_t* value) {
+  MutexLock lock(&mu_);
   counters_[name] = [value] { return *value; };
 }
 
 void MetricsRegistry::RegisterGauge(const std::string& name, GaugeFn fn) {
+  MutexLock lock(&mu_);
   gauges_[name] = std::move(fn);
 }
 
 void MetricsRegistry::RegisterHistogram(const std::string& name,
                                         HistogramFn fn) {
+  MutexLock lock(&mu_);
   histograms_[name] = std::move(fn);
 }
 
 void MetricsRegistry::RegisterHistogram(const std::string& name,
                                         const Histogram* h) {
+  MutexLock lock(&mu_);
   histograms_[name] = [h] { return h; };
 }
 
 void MetricsRegistry::UnregisterPrefix(const std::string& prefix) {
+  MutexLock lock(&mu_);
   auto erase_prefix = [&prefix](auto* map) {
     auto it = map->lower_bound(prefix);
     while (it != map->end() && it->first.compare(0, prefix.size(), prefix) == 0) {
@@ -222,6 +228,7 @@ void MetricsRegistry::UnregisterPrefix(const std::string& prefix) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MutexLock lock(&mu_);
   MetricsSnapshot snap;
   for (const auto& [name, fn] : counters_) snap.counters[name] = fn();
   for (const auto& [name, fn] : gauges_) snap.gauges[name] = fn();

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 
 namespace aurora {
 
@@ -90,6 +91,7 @@ class MetricsRegistry {
   void UnregisterPrefix(const std::string& prefix);
 
   size_t size() const {
+    MutexLock lock(&mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -100,9 +102,16 @@ class MetricsRegistry {
   std::string ToJson() const { return Snapshot().ToJson(); }
 
  private:
-  std::map<std::string, CounterFn> counters_;
-  std::map<std::string, GaugeFn> gauges_;
-  std::map<std::string, HistogramFn> histograms_;
+  // PDES prep (DESIGN.md §10.4): the registry is the first structure that
+  // stays shared once the event loop shards — every partition registers and
+  // snapshots through one instance. Registration/snapshot are cold paths
+  // (component setup, bench teardown), so a plain mutex is fine; the
+  // annotations let Clang's -Wthread-safety prove no unguarded access ever
+  // lands as partitions are introduced.
+  mutable Mutex mu_;
+  std::map<std::string, CounterFn> counters_ GUARDED_BY(mu_);
+  std::map<std::string, GaugeFn> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, HistogramFn> histograms_ GUARDED_BY(mu_);
 };
 
 namespace json {

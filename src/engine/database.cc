@@ -239,6 +239,10 @@ void Database::Crash() {
   if (recovery_ != nullptr && recovery_->retry_event != 0) {
     loop_->Cancel(recovery_->retry_event);
   }
+  loop_->Cancel(pgmrpl_timer_);
+  loop_->Cancel(purge_timer_);
+  loop_->Cancel(ship_timer_);
+  loop_->Cancel(zdp_timer_);
   pool_.Clear();
   locks_.Reset();
   txns_.clear();
@@ -265,13 +269,13 @@ void Database::Crash() {
 
 void Database::ScheduleTimers() {
   const uint64_t gen = generation_;
-  loop_->Schedule(options_.pgmrpl_interval, [this, gen] {
+  pgmrpl_timer_ = loop_->Schedule(options_.pgmrpl_interval, [this, gen] {
     if (gen == generation_ && open_) PgmrplTick();
   });
-  loop_->Schedule(options_.purge_interval, [this, gen] {
+  purge_timer_ = loop_->Schedule(options_.purge_interval, [this, gen] {
     if (gen == generation_ && open_) PurgeTick();
   });
-  loop_->Schedule(options_.replica_ship_interval, [this, gen] {
+  ship_timer_ = loop_->Schedule(options_.replica_ship_interval, [this, gen] {
     if (gen == generation_ && open_) ReplicaShipTick();
   });
 }
@@ -1355,7 +1359,7 @@ void Database::PurgeTick() {
                          ? std::max<SimDuration>(options_.purge_interval / 100,
                                                  Micros(50))
                          : options_.purge_interval;
-  loop_->Schedule(next, [this, gen] {
+  purge_timer_ = loop_->Schedule(next, [this, gen] {
     if (gen == generation_ && open_) PurgeTick();
   });
   if (purge_queue_.empty()) return;
@@ -1454,7 +1458,7 @@ Lsn Database::ComputePgmrpl() const {
 
 void Database::PgmrplTick() {
   const uint64_t gen = generation_;
-  loop_->Schedule(options_.pgmrpl_interval, [this, gen] {
+  pgmrpl_timer_ = loop_->Schedule(options_.pgmrpl_interval, [this, gen] {
     if (gen == generation_ && open_) PgmrplTick();
   });
   Lsn pgmrpl = ComputePgmrpl();
@@ -1517,14 +1521,14 @@ void Database::ZeroDowntimePatch(SimDuration patch_time,
       }
     }
     if (!quiet || !commit_queue_.empty()) {
-      loop_->Schedule(Millis(1), [next = weak_wait.lock()]() {
+      zdp_timer_ = loop_->Schedule(Millis(1), [next = weak_wait.lock()]() {
         if (next) (*next)();
       });
       return;
     }
     // Spool application state to local ephemeral storage, patch the
     // engine, reload: user sessions stay connected throughout.
-    loop_->Schedule(patch_time, [this, gen, done]() {
+    zdp_timer_ = loop_->Schedule(patch_time, [this, gen, done]() {
       if (gen != generation_) return;
       paused_ = false;
       DrainBackpressure();
@@ -1547,7 +1551,7 @@ void Database::DetachReplica(sim::NodeId replica_node) {
 
 void Database::ReplicaShipTick() {
   const uint64_t gen = generation_;
-  loop_->Schedule(options_.replica_ship_interval, [this, gen] {
+  ship_timer_ = loop_->Schedule(options_.replica_ship_interval, [this, gen] {
     if (gen == generation_ && open_) ReplicaShipTick();
   });
   if (replicas_.empty()) {

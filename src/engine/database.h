@@ -431,6 +431,14 @@ class Database : public WalSink, public PageProvider {
   std::shared_ptr<RecoveryState> recovery_;
   std::function<void()> undo_complete_cb_;
 
+  // Periodic-tick and ZDP timers; stored so Crash() can cancel them (the
+  // generation guard neutralizes late firings, but a cancelled event also
+  // releases its closure and its pending-queue slot immediately).
+  sim::EventId pgmrpl_timer_ = 0;
+  sim::EventId purge_timer_ = 0;
+  sim::EventId ship_timer_ = 0;
+  sim::EventId zdp_timer_ = 0;
+
   bool open_ = false;
   bool fenced_ = false;           // demoted by a newer volume epoch
   bool paused_ = false;           // ZDP engine swap in progress

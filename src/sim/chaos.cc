@@ -165,7 +165,7 @@ void ChaosEngine::SetAdversary(const AdversaryConfig& cfg) {
 }
 
 void ChaosEngine::At(SimDuration delay, std::string label,
-                     std::function<void()> action) {
+                     sim::EventFn action) {
   cluster_->loop()->Schedule(
       delay, [this, label = std::move(label), action = std::move(action)] {
         ++cluster_->chaos_counters()->actions_executed;

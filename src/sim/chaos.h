@@ -1,7 +1,6 @@
 #ifndef AURORA_SIM_CHAOS_H_
 #define AURORA_SIM_CHAOS_H_
 
-#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -111,7 +110,7 @@ class ChaosEngine {
   // --- Scripted timeline (delays are relative to "now") --------------------
   /// Schedules `action` to run `delay` from now; `label` identifies it in
   /// logs. Actions count into chaos.actions_executed.
-  void At(SimDuration delay, std::string label, std::function<void()> action);
+  void At(SimDuration delay, std::string label, sim::EventFn action);
   void CrashStorageAt(SimDuration delay, size_t index, SimDuration downtime);
   void FailAzAt(SimDuration delay, sim::AzId az, SimDuration downtime);
   void SlowNodeAt(SimDuration delay, sim::NodeId node, double factor,

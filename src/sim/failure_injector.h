@@ -1,7 +1,6 @@
 #ifndef AURORA_SIM_FAILURE_INJECTOR_H_
 #define AURORA_SIM_FAILURE_INJECTOR_H_
 
-#include <functional>
 #include <map>
 #include <vector>
 
@@ -21,10 +20,10 @@ class FailureInjector {
  public:
   struct Hooks {
     /// Called when the node crashes (volatile state must be discarded).
-    std::function<void()> on_crash;
+    EventFn on_crash;
     /// Called when the node restarts (component re-initializes from
     /// durable state and rejoins).
-    std::function<void()> on_restart;
+    EventFn on_restart;
   };
 
   FailureInjector(EventLoop* loop, Network* network, const Topology* topology,

@@ -1,0 +1,185 @@
+// Crash-path timer audit (driven by the aurora-C1/C2 lint findings): every
+// component that owns periodic or pending timers must cancel them in
+// Crash(), so (a) pending() drops immediately at crash time instead of
+// waiting for generation-guarded closures to fire as no-ops, and (b)
+// repeated crash/recover cycles do not grow the event queue.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/cluster.h"
+#include "harness/mysql_cluster.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing::Key;
+
+ClusterOptions SmallCluster(int replicas = 0) {
+  ClusterOptions o;
+  o.engine.page_size = 4096;
+  o.engine.pages_per_pg = 64;
+  o.engine.buffer_pool_pages = 1024;
+  o.storage_nodes_per_az = 2;
+  o.num_replicas = replicas;
+  return o;
+}
+
+TEST(CrashLifecycleTest, WriterCrashCancelsItsTimersImmediately) {
+  AuroraCluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+  ASSERT_TRUE(cluster.PutSync(table, "k", "v").ok());
+  cluster.RunFor(Millis(50));
+
+  // The open writer keeps three periodic ticks armed (pgmrpl, purge,
+  // replica-ship). Crash() must cancel them synchronously — pending()
+  // reflects cancellation immediately (lazy tombstones do not count).
+  size_t before = cluster.loop()->pending();
+  cluster.writer()->Crash();
+  size_t after = cluster.loop()->pending();
+  EXPECT_LE(after + 3, before)
+      << "Crash() left periodic engine timers live: before=" << before
+      << " after=" << after;
+}
+
+TEST(CrashLifecycleTest, WriterCrashRecoverCyclesKeepPendingAtBaseline) {
+  AuroraCluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cluster.PutSync(table, Key(i), "v").ok());
+  }
+
+  // Sample pending() through identical quiesce windows after each
+  // crash/recover cycle. A timer leaked per cycle would ratchet the count
+  // upward monotonically; allow ±2 for in-flight gossip/pgmrpl messages
+  // whose phase shifts with the crash times.
+  std::vector<size_t> samples;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    cluster.CrashWriter();
+    ASSERT_TRUE(cluster.RecoverSync().ok()) << "cycle " << cycle;
+    cluster.RunFor(Seconds(1));
+    samples.push_back(cluster.loop()->pending());
+  }
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i], samples[0] + 2)
+        << "pending ratcheted across crash/recover cycles: " << samples[0]
+        << " -> " << samples[i] << " (cycle " << i << ")";
+  }
+}
+
+TEST(CrashLifecycleTest, ZdpTimerIsCancelledByCrash) {
+  AuroraCluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+
+  // Start a long patch; once the engine quiesces, the patch-completion
+  // event sits in the queue for 10 simulated seconds.
+  bool done_called = false;
+  cluster.writer()->ZeroDowntimePatch(Seconds(10),
+                                      [&](Status) { done_called = true; });
+  cluster.RunFor(Millis(100));
+  ASSERT_FALSE(done_called);
+
+  size_t before = cluster.loop()->pending();
+  cluster.writer()->Crash();
+  size_t after = cluster.loop()->pending();
+  EXPECT_LT(after, before) << "crash must cancel the pending ZDP timer";
+
+  // The cancelled completion never fires (and never touches freed state).
+  cluster.RunFor(Seconds(15));
+  EXPECT_FALSE(done_called);
+}
+
+TEST(CrashLifecycleTest, ReplicaCrashCancelsReadPointTimer) {
+  AuroraCluster cluster(SmallCluster(/*replicas=*/2));
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+  ASSERT_TRUE(cluster.PutSync(table, "k", "v").ok());
+  cluster.RunFor(Millis(50));
+
+  size_t before = cluster.loop()->pending();
+  cluster.replica(0)->Crash();
+  size_t after = cluster.loop()->pending();
+  EXPECT_LT(after, before)
+      << "replica Crash() must cancel its read-point timer";
+}
+
+TEST(CrashLifecycleTest, StorageNodeCrashCancelsAllMaintenanceTimers) {
+  AuroraCluster cluster(SmallCluster());
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  cluster.RunFor(Millis(50));
+
+  // Each storage node keeps its maintenance timers (gossip, coalesce, GC,
+  // scrub, backup) armed; Crash() cancels all of them.
+  size_t before = cluster.loop()->pending();
+  cluster.storage_node(0)->Crash();
+  size_t after = cluster.loop()->pending();
+  EXPECT_LE(after + 3, before)
+      << "storage Crash() left maintenance timers live: before=" << before
+      << " after=" << after;
+}
+
+TEST(CrashLifecycleTest, FullClusterCrashDrainsTheLoopToZero) {
+  // The strongest form of the audit: crash every component (repair manager
+  // disabled so nothing intentionally re-arms), then let the loop drain.
+  // Every event left after the crashes must be a one-shot (in-flight
+  // message or cancelled-timer tombstone); a component whose crash path
+  // leaked a self-rearming chain would keep pending() above zero forever.
+  ClusterOptions o = SmallCluster(/*replicas=*/1);
+  o.start_repair_manager = false;
+  AuroraCluster cluster(o);
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster.PutSync(table, Key(i), "v").ok());
+  }
+  cluster.RunFor(Millis(20));
+
+  cluster.writer()->Crash();
+  for (size_t r = 0; r < cluster.num_replicas(); ++r) {
+    cluster.replica(r)->Crash();
+  }
+  for (size_t s = 0; s < cluster.num_storage_nodes(); ++s) {
+    cluster.storage_node(s)->Crash();
+  }
+  cluster.RunFor(Seconds(30));
+  EXPECT_EQ(cluster.loop()->pending(), 0u)
+      << "events still pending long after every component crashed";
+}
+
+TEST(CrashLifecycleTest, MysqlCrashCancelsCheckpointTimer) {
+  MysqlCluster cluster{MysqlClusterOptions{}};
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+  ASSERT_TRUE(cluster.PutSync(table, "k", "v").ok());
+  cluster.RunFor(Millis(50));
+
+  size_t before = cluster.loop()->pending();
+  cluster.db()->Crash();
+  size_t after = cluster.loop()->pending();
+  EXPECT_LT(after, before)
+      << "MirroredMySql::Crash() must cancel the checkpoint re-arm";
+
+  // And the cycle does not ratchet pending() upward.
+  std::vector<size_t> samples;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(cluster.RecoverSync().ok()) << "cycle " << cycle;
+    cluster.RunFor(Seconds(1));
+    samples.push_back(cluster.loop()->pending());
+    cluster.db()->Crash();
+  }
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i], samples[0]);
+  }
+}
+
+}  // namespace
+}  // namespace aurora

@@ -1,0 +1,74 @@
+// aurora-lint CLI: walks --root's src/, tests/, bench/ and reports
+// determinism (D), leak (L), crash-lifecycle (C), and hot-path (H) hazards.
+// Exits 1 when any unsuppressed finding remains.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "lint_core.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: aurora_lint --root <repo-root> [--dirs a,b,c] "
+               "[--json <path>] [--list-suppressed]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aurora::lint::Options opts;
+  std::string json_path;
+  bool list_suppressed = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opts.root = argv[++i];
+    } else if (arg == "--dirs" && i + 1 < argc) {
+      opts.dirs.clear();
+      std::stringstream ss(argv[++i]);
+      std::string d;
+      while (std::getline(ss, d, ',')) {
+        if (!d.empty()) opts.dirs.push_back(d);
+      }
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--list-suppressed") {
+      list_suppressed = true;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (opts.root.empty()) {
+    Usage();
+    return 2;
+  }
+
+  aurora::lint::Report report = aurora::lint::AnalyzeRepo(opts);
+  std::cout << report.ToText();
+  if (list_suppressed) {
+    for (const auto& f : report.findings) {
+      if (!f.suppressed) continue;
+      std::cout << f.file << ":" << f.line << ": [" << f.rule
+                << "] suppressed: "
+                << (f.justification.empty() ? "(no justification)"
+                                            : f.justification)
+                << "\n";
+    }
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << report.ToJson();
+    if (!out) {
+      std::fprintf(stderr, "aurora_lint: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+  }
+  return report.unsuppressed() == 0 ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+// Fixture: Crash() cancels every EventId member — no C1 finding. Also
+// checks that `using EventId = ...` and EventId-returning methods are not
+// mistaken for members.
+#include <cstdint>
+
+namespace sim {
+using EventId = uint64_t;
+struct Loop {
+  EventId Schedule() { return 0; }
+  void Cancel(EventId) {}
+};
+}  // namespace sim
+
+namespace fixture {
+
+class Stable {
+ public:
+  using EventId = sim::EventId;  // alias, not a member
+  EventId Arm() {               // return type, not a member
+    gc_timer_ = loop_->Schedule();
+    return gc_timer_;
+  }
+  void Crash() {
+    loop_->Cancel(gc_timer_);
+    alive_ = false;
+  }
+
+ private:
+  sim::Loop* loop_ = nullptr;
+  sim::EventId gc_timer_ = 0;
+  bool alive_ = true;
+};
+
+}  // namespace fixture

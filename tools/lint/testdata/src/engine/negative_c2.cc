@@ -1,0 +1,25 @@
+// Fixture: every Schedule() result is stored or returned — no C2 finding.
+#include <cstdint>
+
+namespace sim {
+using EventId = uint64_t;
+struct Loop {
+  EventId Schedule(int) { return 0; }
+  void Cancel(EventId) {}
+};
+}  // namespace sim
+
+namespace fixture {
+
+class Component {
+ public:
+  void Crash() { loop_->Cancel(timer_); }
+  void Arm() { timer_ = loop_->Schedule(5); }
+  sim::EventId Defer() { return loop_->Schedule(9); }
+
+ private:
+  sim::Loop* loop_ = nullptr;
+  sim::EventId timer_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: the weak-self idiom — no L findings.
+#include <functional>
+#include <memory>
+
+namespace fixture {
+
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  void Start() {
+    std::weak_ptr<Session> weak = weak_from_this();
+    callback_ = [weak]() {
+      if (auto locked = weak.lock()) locked->Tick();
+    };
+  }
+  void Tick() {}
+
+ private:
+  std::function<void()> callback_;
+};
+
+}  // namespace fixture

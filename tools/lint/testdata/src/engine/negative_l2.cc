@@ -1,0 +1,23 @@
+// Fixture: the weak-step idiom (in-flight continuations hold the strong
+// reference; the stored closure holds only a weak one) — no L findings.
+#include <functional>
+#include <memory>
+
+namespace fixture {
+
+class Pump {
+ public:
+  void Run() {
+    auto step = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak_step = step;
+    *step = [this, weak_step]() {
+      Dispatch([step = weak_step.lock()]() {
+        if (step) (*step)();
+      });
+    };
+    (*step)();
+  }
+  void Dispatch(std::function<void()> fn) { fn(); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: EventId member not cancelled by Crash().
+#include <cstdint>
+
+namespace sim {
+using EventId = uint64_t;
+struct Loop {
+  void Cancel(EventId) {}
+};
+}  // namespace sim
+
+namespace fixture {
+
+class Flaky {
+ public:
+  // C1: gossip_timer_ is never cancelled here.
+  void Crash() { alive_ = false; }
+
+ private:
+  sim::EventId gossip_timer_ = 0;
+  bool alive_ = true;
+};
+
+}  // namespace fixture

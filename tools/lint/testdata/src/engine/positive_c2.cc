@@ -1,0 +1,27 @@
+// Fixture: discarded Schedule() result in a crash-managed component.
+#include <cstdint>
+
+namespace sim {
+using EventId = uint64_t;
+struct Loop {
+  EventId Schedule(int) { return 0; }
+  void Cancel(EventId) {}
+};
+}  // namespace sim
+
+namespace fixture {
+
+class Component {
+ public:
+  void Crash() { alive_ = false; }
+  void Arm() {
+    // C2: the returned EventId is dropped; Crash() cannot cancel this.
+    loop_->Schedule(5);
+  }
+
+ private:
+  sim::Loop* loop_ = nullptr;
+  bool alive_ = true;
+};
+
+}  // namespace fixture

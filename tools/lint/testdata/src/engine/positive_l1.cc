@@ -1,0 +1,24 @@
+// Fixture: strong shared_from_this captures (direct and via alias).
+#include <functional>
+#include <memory>
+
+namespace fixture {
+
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  void StartDirect() {
+    // L1: the stored closure pins the session forever.
+    callback_ = [self = shared_from_this()]() { self->Tick(); };
+  }
+  void StartViaAlias() {
+    auto self = shared_from_this();
+    // L1: 'self' is a strong alias captured by copy.
+    callback_ = [this, self]() { Tick(); };
+  }
+  void Tick() {}
+
+ private:
+  std::function<void()> callback_;
+};
+
+}  // namespace fixture

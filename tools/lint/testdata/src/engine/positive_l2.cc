@@ -1,0 +1,18 @@
+// Fixture: self-referential shared_ptr<std::function> cycle.
+#include <functional>
+#include <memory>
+
+namespace fixture {
+
+class Pump {
+ public:
+  void Run() {
+    auto step = std::make_shared<std::function<void()>>();
+    // L2: *step captures step strongly — the closure owns itself.
+    *step = [this, step]() { Next(); };
+    (*step)();
+  }
+  void Next() {}
+};
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: a bare clang-tidy-style NOLINT does NOT suppress aurora rules.
+#include <functional>
+
+namespace fixture {
+
+struct Hooks4 {
+  std::function<void()> on_event;  // NOLINT
+};
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: deterministic code that must NOT trip any D rule — mentions of
+// banned names in comments and string literals are fine, as are ordered
+// containers keyed by stable ids and the repo's seeded Random.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+// system_clock and random_device in a comment are not findings.
+const char* kDoc =
+    "do not use system_clock, random_device, or time(nullptr) here";
+
+struct Event {
+  uint64_t at = 0;
+};
+
+struct Loop {
+  uint64_t now = 0;  // sim time, not wall time
+  std::map<uint64_t, Event> queue;       // keyed by sequence number
+  std::set<std::string> labels;          // keyed by value
+  uint64_t runtime = 0;                  // 'time' substring is not a call
+};
+
+uint64_t Brand(uint64_t x) { return x * 2862933555777941757ULL; }
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: InlineFunction on the hot path — no H1 finding.
+#ifndef FIXTURE_NEGATIVE_H1_H_
+#define FIXTURE_NEGATIVE_H1_H_
+
+namespace aurora {
+template <typename Sig, int N>
+class InlineFunction {};
+}  // namespace aurora
+
+namespace fixture {
+
+struct Hooks {
+  aurora::InlineFunction<void(), 64> on_event;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_NEGATIVE_H1_H_

@@ -1,0 +1,22 @@
+// Fixture: every banned nondeterminism source fires aurora-D1.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+uint64_t WallSeed() {
+  auto now = std::chrono::system_clock::now();  // D1: wall clock
+  (void)now;
+  std::random_device rd;                        // D1: hardware entropy
+  uint64_t seed = rd();
+  seed ^= static_cast<uint64_t>(time(nullptr));  // D1: wall clock
+  seed ^= static_cast<uint64_t>(std::rand());    // D1: global PRNG
+  if (getenv("FIXTURE_SEED") != nullptr) {       // D1: environment
+    seed = 42;
+  }
+  return seed;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: unordered containers (D2) and pointer-keyed maps (D3).
+// (No #includes of the unordered headers: the include line itself would
+// also fire D2, which is intended behaviour but noise for this fixture.)
+#include <map>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+struct Registry {
+  std::unordered_map<int, Node> by_id;       // D2
+  std::unordered_set<int> live;              // D2
+  std::map<Node*, int> rank;                 // D3: keyed by address
+  std::map<const Node*, long> weights;       // D3: keyed by address
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: std::function on the simulator hot path.
+#ifndef FIXTURE_POSITIVE_H1_H_
+#define FIXTURE_POSITIVE_H1_H_
+
+#include <functional>
+
+namespace fixture {
+
+struct Hooks {
+  std::function<void()> on_event;  // H1
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_POSITIVE_H1_H_

@@ -1,0 +1,10 @@
+// Fixture: a NOLINT without a justification earns an aurora-S1 finding.
+#include <functional>
+
+namespace fixture {
+
+struct DebugHooks3 {
+  std::function<void()> on_event;  // NOLINT(aurora-H1)
+};
+
+}  // namespace fixture

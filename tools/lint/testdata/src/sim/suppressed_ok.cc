@@ -1,0 +1,17 @@
+// Fixture: suppression round-trip — both NOLINT forms, each with the
+// required justification. Findings are recorded as suppressed; the file
+// contributes zero unsuppressed findings.
+#include <functional>
+
+namespace fixture {
+
+struct DebugHooks {
+  std::function<void()> on_event;  // NOLINT(aurora-H1): debug-only hook, fired at most once per run
+};
+
+struct DebugHooks2 {
+  // NOLINTNEXTLINE(aurora-H1): test seam injected by the harness, not on the hot path
+  std::function<void()> on_other;
+};
+
+}  // namespace fixture
