@@ -10,8 +10,10 @@
 namespace aurora::bench {
 namespace {
 
-void RunOne(const char* label, bool gossip_on) {
+void RunOne(const char* label, const char* key, bool gossip_on,
+            int sim_shards, BenchReport* report) {
   ClusterOptions copts = StandardAuroraOptions();
+  copts.sim_shards = sim_shards;
   if (!gossip_on) {
     copts.storage.gossip_interval = Minutes(60);  // effectively disabled
   }
@@ -43,25 +45,34 @@ void RunOne(const char* label, bool gossip_on) {
   }
   printf("%-14s %12zu/%zu %22llu\n", label, complete, total,
          static_cast<unsigned long long>(filled));
+  std::string prefix(key);
+  report->Result(prefix + ".complete_segments",
+                 static_cast<double>(complete));
+  report->Result(prefix + ".total_segments", static_cast<double>(total));
+  report->Result(prefix + ".records_backfilled",
+                 static_cast<double>(filled));
+  report->AttachSnapshot(prefix + ".cluster", cluster.metrics()->Snapshot());
 }
 
-void Run() {
+void Run(int sim_shards) {
   PrintHeader("Ablation: gossip-driven gap filling under 2% message loss",
               "Figure 4 step 4 (§4.1)");
   printf("%-14s %14s %22s\n", "gossip", "complete segs",
          "records backfilled");
-  RunOne("on", true);
-  RunOne("off", false);
+  BenchReport report("ablation_gossip");
+  RunOne("on", "on", true, sim_shards, &report);
+  RunOne("off", "off", false, sim_shards, &report);
   printf("\nExpected shape: with gossip every replica converges to\n");
   printf("SCL >= VDL; without it, replicas that missed batches stay\n");
   printf("permanently holey (quorum still holds, but read routing and\n");
   printf("repair donors shrink).\n");
+  report.Write();
 }
 
 }  // namespace
 }  // namespace aurora::bench
 
-int main() {
-  aurora::bench::Run();
+int main(int argc, char** argv) {
+  aurora::bench::Run(aurora::bench::ParseSimShards(argc, argv));
   return 0;
 }

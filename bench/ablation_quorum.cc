@@ -11,9 +11,11 @@
 namespace aurora::bench {
 namespace {
 
-void RunOne(const char* label, QuorumConfig q, double slow_factor) {
+void RunOne(const char* label, const char* key, QuorumConfig q,
+            double slow_factor, int sim_shards, BenchReport* report) {
   ClusterOptions copts = StandardAuroraOptions();
   copts.engine.quorum = q;
+  copts.sim_shards = sim_shards;
   AuroraCluster cluster(copts);
   if (!cluster.BootstrapSync().ok()) return;
   SyntheticCatalog catalog;
@@ -30,7 +32,7 @@ void RunOne(const char* label, QuorumConfig q, double slow_factor) {
   sopts.connections = 16;
   sopts.duration = Seconds(2);
   sopts.warmup = Millis(300);
-  SysbenchDriver driver(cluster.loop(), &client, (*layout)->anchor(), sopts);
+  SysbenchDriver driver(cluster.writer_loop(), &client, (*layout)->anchor(), sopts);
   bool done = false;
   driver.Run([&] { done = true; });
   cluster.RunUntil([&] { return done; }, Minutes(30));
@@ -41,25 +43,41 @@ void RunOne(const char* label, QuorumConfig q, double slow_factor) {
          ToMillis(commit.P99()),
          static_cast<unsigned long long>(
              cluster.writer()->stats().batch_retries));
+  std::string prefix(key);
+  report->Result(prefix + ".writes_per_sec",
+                 driver.results().writes_per_sec());
+  report->Result(prefix + ".commit_p50_ms", ToMillis(commit.P50()));
+  report->Result(prefix + ".commit_p99_ms", ToMillis(commit.P99()));
+  report->Result(prefix + ".batch_retries",
+                 static_cast<double>(cluster.writer()->stats().batch_retries));
+  // The cluster dies with this frame, so attach a materialized snapshot
+  // rather than the registry.
+  report->AttachSnapshot(prefix + ".cluster", cluster.metrics()->Snapshot());
 }
 
-void Run() {
+void Run(int sim_shards) {
   PrintHeader("Ablation: quorum width under a slow storage node",
               "§2.1/§3.1 (the 4/6 design point)");
   printf("%-26s %10s %12s %12s %10s\n", "config", "writes/s",
          "commit p50", "commit p99", "retries");
-  RunOne("4/6 (Aurora), healthy", QuorumConfig::Aurora(), 1);
-  RunOne("4/6 (Aurora), 1 slow 20x", QuorumConfig::Aurora(), 20);
-  RunOne("6/6 (all-replica), healthy", QuorumConfig{6, 6, 1}, 1);
-  RunOne("6/6 (all-replica), slow", QuorumConfig{6, 6, 1}, 20);
+  BenchReport report("ablation_quorum");
+  RunOne("4/6 (Aurora), healthy", "aurora_healthy", QuorumConfig::Aurora(), 1,
+         sim_shards, &report);
+  RunOne("4/6 (Aurora), 1 slow 20x", "aurora_slow20x", QuorumConfig::Aurora(),
+         20, sim_shards, &report);
+  RunOne("6/6 (all-replica), healthy", "allreplica_healthy",
+         QuorumConfig{6, 6, 1}, 1, sim_shards, &report);
+  RunOne("6/6 (all-replica), slow", "allreplica_slow20x",
+         QuorumConfig{6, 6, 1}, 20, sim_shards, &report);
   printf("\nExpected shape: 4/6 is insensitive to the slow node; 6/6\n");
   printf("inherits the slowest replica's latency into every commit.\n");
+  report.Write();
 }
 
 }  // namespace
 }  // namespace aurora::bench
 
-int main() {
-  aurora::bench::Run();
+int main(int argc, char** argv) {
+  aurora::bench::Run(aurora::bench::ParseSimShards(argc, argv));
   return 0;
 }

@@ -11,8 +11,10 @@
 namespace aurora::bench {
 namespace {
 
-void RunOne(const char* label, bool yield_enabled) {
+void RunOne(const char* label, const char* key, bool yield_enabled,
+            int sim_shards, BenchReport* report) {
   ClusterOptions copts = StandardAuroraOptions();
+  copts.sim_shards = sim_shards;
   // Constrain storage devices so background work genuinely competes with
   // foreground batch persistence.
   copts.storage.disk.max_iops = 1200;
@@ -38,7 +40,7 @@ void RunOne(const char* label, bool yield_enabled) {
   sopts.connections = 32;
   sopts.duration = Seconds(2);
   sopts.warmup = Millis(300);
-  SysbenchDriver driver(cluster.loop(), &client, (*layout)->anchor(), sopts);
+  SysbenchDriver driver(cluster.writer_loop(), &client, (*layout)->anchor(), sopts);
   bool done = false;
   driver.Run([&] { done = true; });
   cluster.RunUntil([&] { return done; }, Minutes(30));
@@ -54,26 +56,38 @@ void RunOne(const char* label, bool yield_enabled) {
          ToMillis(commit.P99()),
          static_cast<unsigned long long>(deferrals),
          static_cast<unsigned long long>(coalesced));
+  std::string prefix(key);
+  report->Result(prefix + ".writes_per_sec",
+                 driver.results().writes_per_sec());
+  report->Result(prefix + ".commit_p50_ms", ToMillis(commit.P50()));
+  report->Result(prefix + ".commit_p99_ms", ToMillis(commit.P99()));
+  report->Result(prefix + ".background_deferrals",
+                 static_cast<double>(deferrals));
+  report->Result(prefix + ".records_coalesced",
+                 static_cast<double>(coalesced));
+  report->AttachSnapshot(prefix + ".cluster", cluster.metrics()->Snapshot());
 }
 
-void Run() {
+void Run(int sim_shards) {
   PrintHeader(
       "Ablation: background work yields to foreground (storage pipeline)",
       "§3.3 / Figure 4");
   printf("%-22s %10s %12s %12s %11s %11s\n", "config", "writes/s",
          "commit p50", "commit p99", "deferrals", "coalesced");
-  RunOne("yield (Aurora)", true);
-  RunOne("always-run (naive)", false);
+  BenchReport report("ablation_storage_pipeline");
+  RunOne("yield (Aurora)", "yield", true, sim_shards, &report);
+  RunOne("always-run (naive)", "always_run", false, sim_shards, &report);
   printf("\nExpected shape: with the yield, foreground commit tail is\n");
   printf("tighter; the naive node burns disk on coalescing while the\n");
   printf("foreground queue builds (the positive-correlation trap of\n");
   printf("traditional checkpointing).\n");
+  report.Write();
 }
 
 }  // namespace
 }  // namespace aurora::bench
 
-int main() {
-  aurora::bench::Run();
+int main(int argc, char** argv) {
+  aurora::bench::Run(aurora::bench::ParseSimShards(argc, argv));
   return 0;
 }

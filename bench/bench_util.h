@@ -64,11 +64,15 @@ struct AuroraRun {
   std::unique_ptr<SyntheticCatalog> catalog;
   PageId table = kInvalidPage;
   WorkloadResults results;
+  /// Per-interval registry diffs (when `window_interval` > 0): a sim-time
+  /// series of every cluster metric across the measured window.
+  std::vector<MetricsSnapshot> windows;
   bool ok = false;
 };
 
-inline AuroraRun RunAuroraSysbench(ClusterOptions copts,
-                                   SysbenchOptions sopts, uint64_t rows) {
+inline AuroraRun RunAuroraSysbench(ClusterOptions copts, SysbenchOptions sopts,
+                                   uint64_t rows,
+                                   SimDuration window_interval = 0) {
   AuroraRun run;
   run.cluster = std::make_unique<AuroraCluster>(copts);
   run.catalog = std::make_unique<SyntheticCatalog>();
@@ -87,11 +91,18 @@ inline AuroraRun RunAuroraSysbench(ClusterOptions copts,
   sopts.table_rows = rows;
   sopts.value_size = kRowBytes;
   AuroraClient client(run.cluster->writer());
-  SysbenchDriver driver(run.cluster->loop(), &client, run.table, sopts);
+  SysbenchDriver driver(run.cluster->writer_loop(), &client, run.table, sopts);
+  if (window_interval > 0) {
+    // Timers on the control shard: window snapshots need a consistent
+    // global cut under multi-worker execution.
+    driver.EnableIntervalMetrics(run.cluster->metrics(), window_interval,
+                                 run.cluster->loop()->control());
+  }
   bool done = false;
   driver.Run([&] { done = true; });
   run.cluster->RunUntil([&] { return done; }, Minutes(60));
   run.results = driver.results();
+  run.windows = driver.metric_windows();
   run.ok = done;
   return run;
 }
@@ -101,11 +112,13 @@ struct MysqlRun {
   std::unique_ptr<SyntheticCatalog> catalog;
   PageId table = kInvalidPage;
   WorkloadResults results;
+  std::vector<MetricsSnapshot> windows;
   bool ok = false;
 };
 
 inline MysqlRun RunMysqlSysbench(MysqlClusterOptions copts,
-                                 SysbenchOptions sopts, uint64_t rows) {
+                                 SysbenchOptions sopts, uint64_t rows,
+                                 SimDuration window_interval = 0) {
   MysqlRun run;
   run.cluster = std::make_unique<MysqlCluster>(copts);
   run.catalog = std::make_unique<SyntheticCatalog>();
@@ -125,11 +138,16 @@ inline MysqlRun RunMysqlSysbench(MysqlClusterOptions copts,
   sopts.table_rows = rows;
   sopts.value_size = kRowBytes;
   MysqlClient client(run.cluster->db());
-  SysbenchDriver driver(run.cluster->loop(), &client, run.table, sopts);
+  SysbenchDriver driver(run.cluster->writer_loop(), &client, run.table, sopts);
+  if (window_interval > 0) {
+    driver.EnableIntervalMetrics(run.cluster->metrics(), window_interval,
+                                 run.cluster->loop()->control());
+  }
   bool done = false;
   driver.Run([&] { done = true; });
   run.cluster->RunUntil([&] { return done; }, Minutes(120));
   run.results = driver.results();
+  run.windows = driver.metric_windows();
   run.ok = done;
   return run;
 }
@@ -182,6 +200,22 @@ class BenchReport {
     attached_.emplace_back(prefix, reg);
   }
 
+  /// Nests an already-materialized snapshot under `prefix` (interval
+  /// windows, diffs against a baseline — anything no longer backed by a
+  /// live registry).
+  void AttachSnapshot(const std::string& prefix, MetricsSnapshot snap) {
+    snapshots_.emplace_back(prefix, std::move(snap));
+  }
+
+  /// Nests a sysbench interval-window time series as
+  /// "<prefix>.w<index>.<metric>" (windows are ordered by sim-time).
+  void AttachWindows(const std::string& prefix,
+                     const std::vector<MetricsSnapshot>& windows) {
+    for (size_t i = 0; i < windows.size(); ++i) {
+      AttachSnapshot(prefix + ".w" + std::to_string(i), windows[i]);
+    }
+  }
+
   MetricsRegistry* registry() { return &registry_; }
 
   /// Builds the merged snapshot (results + attached registries).
@@ -189,6 +223,9 @@ class BenchReport {
     MetricsSnapshot snap = registry_.Snapshot();
     for (const auto& [prefix, reg] : attached_) {
       snap.MergeWithPrefix(prefix, reg->Snapshot());
+    }
+    for (const auto& [prefix, s] : snapshots_) {
+      snap.MergeWithPrefix(prefix, s);
     }
     return snap;
   }
@@ -217,7 +254,25 @@ class BenchReport {
   MetricsRegistry registry_;
   std::deque<double> owned_;  // deque: stable addresses for gauge readers
   std::vector<std::pair<std::string, const MetricsRegistry*>> attached_;
+  std::vector<std::pair<std::string, MetricsSnapshot>> snapshots_;
 };
+
+/// Parses "--sim_shards=N" from a bench's argv (any position; first match
+/// wins). N is the PDES worker-thread count for every cluster the bench
+/// builds — purely an execution knob, results are byte-identical across
+/// values (see DESIGN.md §11).
+inline int ParseSimShards(int argc, char** argv, int def = 1) {
+  for (int i = 1; i < argc; ++i) {
+    int n = 0;
+    if (sscanf(argv[i], "--sim_shards=%d", &n) == 1 && n >= 1) return n;
+  }
+  const char* env = getenv("AURORA_SIM_SHARDS");
+  if (env != nullptr) {
+    int n = atoi(env);
+    if (n >= 1) return n;
+  }
+  return def;
+}
 
 }  // namespace aurora::bench
 

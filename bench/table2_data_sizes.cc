@@ -18,17 +18,21 @@
 namespace aurora::bench {
 namespace {
 
-void Run() {
+void Run(int sim_shards) {
   PrintHeader("Table 2: SysBench write-only writes/sec vs DB size",
               "Table 2 (§6.1.2)");
 
   struct Point {
     const char* label;
+    const char* key;
     double gb;
   };
-  const Point sizes[] = {{"1 GB", 1}, {"10 GB", 10}, {"100 GB", 100},
-                         {"1 TB", 1024}};
+  const Point sizes[] = {{"1 GB", "gb1", 1},
+                         {"10 GB", "gb10", 10},
+                         {"100 GB", "gb100", 100},
+                         {"1 TB", "tb1", 1024}};
 
+  BenchReport report("table2_data_sizes");
   printf("%-8s %16s %14s %8s\n", "DB Size", "Aurora writes/s",
          "MySQL writes/s", "ratio");
   for (const Point& p : sizes) {
@@ -39,23 +43,39 @@ void Run() {
     sopts.warmup = Millis(500);
     const uint64_t rows = RowsForGb(p.gb);
 
-    AuroraRun aurora =
-        RunAuroraSysbench(StandardAuroraOptions(), sopts, rows);
-    MysqlRun mysql = RunMysqlSysbench(StandardMysqlOptions(), sopts, rows);
+    ClusterOptions aopts = StandardAuroraOptions();
+    aopts.sim_shards = sim_shards;
+    MysqlClusterOptions mopts = StandardMysqlOptions();
+    mopts.sim_shards = sim_shards;
+    AuroraRun aurora = RunAuroraSysbench(aopts, sopts, rows);
+    MysqlRun mysql = RunMysqlSysbench(mopts, sopts, rows);
 
     double a = aurora.results.writes_per_sec();
     double m = mysql.results.writes_per_sec();
     printf("%-8s %16.0f %14.0f %7.1fx\n", p.label, a, m, m > 0 ? a / m : 0);
+    std::string prefix(p.key);
+    report.Result(prefix + ".aurora_writes_per_sec", a);
+    report.Result(prefix + ".mysql_writes_per_sec", m);
+    report.Result(prefix + ".ratio", m > 0 ? a / m : 0);
+    if (aurora.cluster != nullptr) {
+      report.AttachSnapshot(prefix + ".aurora",
+                            aurora.cluster->metrics()->Snapshot());
+    }
+    if (mysql.cluster != nullptr) {
+      report.AttachSnapshot(prefix + ".mysql",
+                            mysql.cluster->metrics()->Snapshot());
+    }
   }
   printf("\nExpected shape: Aurora flat in-cache then dropping at 1TB\n");
   printf("(paper: 107K -> 41K); MySQL degrading throughout (8.4K -> 1.2K);\n");
   printf("Aurora ahead by 10-67x everywhere.\n");
+  report.Write();
 }
 
 }  // namespace
 }  // namespace aurora::bench
 
-int main() {
-  aurora::bench::Run();
+int main(int argc, char** argv) {
+  aurora::bench::Run(aurora::bench::ParseSimShards(argc, argv));
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "workload/tpcc.h"
@@ -21,6 +22,7 @@ namespace {
 struct Config {
   int connections;
   const char* size;
+  const char* size_key;  // lowercase, for metric names
   int warehouses;
 };
 
@@ -44,7 +46,7 @@ double RunTpcc(Cluster* cluster, Client* client, const Config& cfg) {
   topts.stock_items = 200;
   topts.duration = Seconds(3);
   topts.warmup = Millis(500);
-  TpccDriver driver(cluster->loop(), client, tables, topts);
+  TpccDriver driver(cluster->writer_loop(), client, tables, topts);
   bool loaded = false;
   Status ls = Status::TimedOut("load");
   driver.Load([&](Status s) {
@@ -62,24 +64,28 @@ double RunTpcc(Cluster* cluster, Client* client, const Config& cfg) {
   return driver.results().tpmC();
 }
 
-void Run() {
+void Run(int sim_shards) {
   PrintHeader("Table 5: Percona TPC-C variant (tpmC)", "Table 5 (§6.1.5)");
 
   // Warehouse counts scaled 1/10 (contention intensity preserved by also
   // scaling connections per warehouse in the 5000-connection rows).
-  const Config configs[] = {{500, "10GB", 10},
-                            {2000, "10GB", 10},
-                            {500, "100GB", 100},
-                            {2000, "100GB", 100}};
+  const Config configs[] = {{500, "10GB", "10gb", 10},
+                            {2000, "10GB", "10gb", 10},
+                            {500, "100GB", "100gb", 100},
+                            {2000, "100GB", "100gb", 100}};
 
+  BenchReport report("table5_tpcc");
   printf("%-22s %12s %12s\n", "Connections/Size/WH", "Aurora", "MySQL 5.6");
   for (const Config& cfg : configs) {
-    AuroraCluster aurora(StandardAuroraOptions());
+    ClusterOptions aopts = StandardAuroraOptions();
+    aopts.sim_shards = sim_shards;
+    AuroraCluster aurora(aopts);
     if (!aurora.BootstrapSync().ok()) continue;
     AuroraClient aclient(aurora.writer());
     double a_tpmc = RunTpcc(&aurora, &aclient, cfg);
 
     MysqlClusterOptions mopts = StandardMysqlOptions();
+    mopts.sim_shards = sim_shards;
     mopts.mysql.cpu_contention_per_connection_us = 0.05;
     MysqlCluster mysql(mopts);
     if (!mysql.BootstrapSync().ok()) continue;
@@ -90,15 +96,22 @@ void Run() {
     snprintf(label, sizeof(label), "%d/%s/%d", cfg.connections, cfg.size,
              cfg.warehouses);
     printf("%-22s %12.0f %12.0f\n", label, a_tpmc, m_tpmc);
+    std::string prefix = "c" + std::to_string(cfg.connections) + "_" +
+                         cfg.size_key + "_wh" + std::to_string(cfg.warehouses);
+    report.Result(prefix + ".aurora_tpmc", a_tpmc);
+    report.Result(prefix + ".mysql_tpmc", m_tpmc);
+    report.AttachSnapshot(prefix + ".aurora", aurora.metrics()->Snapshot());
+    report.AttachSnapshot(prefix + ".mysql", mysql.metrics()->Snapshot());
   }
   printf("\nExpected shape: Aurora 2.3x-16x MySQL everywhere; both drop\n");
   printf("at the highest connection count (lock contention), Aurora less.\n");
+  report.Write();
 }
 
 }  // namespace
 }  // namespace aurora::bench
 
-int main() {
-  aurora::bench::Run();
+int main(int argc, char** argv) {
+  aurora::bench::Run(aurora::bench::ParseSimShards(argc, argv));
   return 0;
 }

@@ -12,6 +12,10 @@ namespace aurora::baseline {
 namespace {
 
 constexpr char kNextPageKey[] = "next_page";
+// Free-list entries on meta page 0: "free:" + fixed64 page id (same layout
+// as the Aurora engine's allocator).
+constexpr char kFreePagePrefix[] = "free:";
+constexpr size_t kFreePagePrefixLen = 5;
 
 std::string WalKey(uint64_t seq) {
   char buf[32];
@@ -252,8 +256,9 @@ void MirroredMySql::FinishWalFlush(Lsn flushed_through) {
                [this, key = std::string(key), for_s3 = std::move(for_s3),
                 complete = std::move(complete)](Status s) mutable {
                  if (s3_ != nullptr) {
+                   // Completion on this engine's own loop (S3 is shared).
                    s3_->Put("binlog-archive/" + key, std::move(for_s3),
-                            [](Status) {});
+                            [](Status) {}, loop_);
                  }
                  complete(s);
                });
@@ -460,6 +465,29 @@ Result<Page*> MirroredMySql::AllocatePage(PageType type, uint8_t level,
                                           MiniTransaction* mtr) {
   Result<Page*> meta = GetPage(0);
   if (!meta.ok()) return meta.status();
+  // Reuse a freed page before growing the page space.
+  int slot = (*meta)->LowerBound(kFreePagePrefix);
+  if (slot < (*meta)->slot_count()) {
+    Slice k = (*meta)->KeyAt(slot);
+    if (k.size() == kFreePagePrefixLen + 8 && k.starts_with(kFreePagePrefix)) {
+      const PageId id = DecodeFixed64(k.data() + kFreePagePrefixLen);
+      LogRecord del;
+      del.page_id = 0;
+      del.op = RedoOp::kDelete;
+      del.payload = LogRecord::MakeKeyPayload(k);
+      Status s = mtr->Apply(*meta, std::move(del));
+      if (!s.ok()) return s;
+      Page* page = pool_.InstallNew(id);
+      LogRecord fmt;
+      fmt.page_id = id;
+      fmt.op = RedoOp::kFormatPage;
+      fmt.payload =
+          LogRecord::MakeFormatPayload(static_cast<uint8_t>(type), level);
+      s = mtr->Apply(page, std::move(fmt));
+      if (!s.ok()) return s;
+      return page;
+    }
+  }
   Slice v;
   if (!(*meta)->GetRecord(kNextPageKey, &v) || v.size() != 8) {
     return Status::Corruption("allocator record missing");
@@ -481,6 +509,28 @@ Result<Page*> MirroredMySql::AllocatePage(PageType type, uint8_t level,
   s = mtr->Apply(page, std::move(fmt));
   if (!s.ok()) return s;
   return page;
+}
+
+Status MirroredMySql::FreePage(Page* page, MiniTransaction* mtr) {
+  Result<Page*> meta = GetPage(0);
+  if (!meta.ok()) return meta.status();
+  std::string key = kFreePagePrefix;
+  PutFixed64(&key, page->page_id());
+  // A meta page with no room only costs the reuse of this one id.
+  if ((*meta)->HasRoomFor(key.size(), 0)) {
+    LogRecord rec;
+    rec.page_id = 0;
+    rec.op = RedoOp::kInsert;
+    rec.payload = LogRecord::MakeKeyValuePayload(key, Slice());
+    Status s = mtr->Apply(*meta, std::move(rec));
+    if (!s.ok()) return s;
+  }
+  LogRecord fmt;
+  fmt.page_id = page->page_id();
+  fmt.op = RedoOp::kFormatPage;
+  fmt.payload =
+      LogRecord::MakeFormatPayload(static_cast<uint8_t>(PageType::kFree), 0);
+  return mtr->Apply(page, std::move(fmt));
 }
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,10 @@ namespace {
 constexpr char kNextPageKey[] = "next_page";
 constexpr char kTxnTableName[] = "tbl:__txn";
 constexpr char kUndoTreeName[] = "tbl:__undo";
+// Free-list entries on the meta page: "free:" + fixed64 page id, empty
+// value. Sorts below kNextPageKey and the "tbl:" catalog entries.
+constexpr char kFreePagePrefix[] = "free:";
+constexpr size_t kFreePagePrefixLen = 5;
 
 void PutBigEndian64(std::string* dst, uint64_t v) {
   for (int shift = 56; shift >= 0; shift -= 8) {
@@ -557,6 +561,34 @@ Result<Page*> Database::AllocatePage(PageType type, uint8_t level,
                                      MiniTransaction* mtr) {
   Result<Page*> meta = GetPage(meta_page_id_);
   if (!meta.ok()) return meta.status();
+  // Reuse a freed page when the free-list has one; the page space only
+  // grows when the list is empty.
+  int slot = (*meta)->LowerBound(kFreePagePrefix);
+  if (slot < (*meta)->slot_count()) {
+    Slice k = (*meta)->KeyAt(slot);
+    if (k.size() == kFreePagePrefixLen + 8 && k.starts_with(kFreePagePrefix)) {
+      const PageId id = DecodeFixed64(k.data() + kFreePagePrefixLen);
+      LogRecord del;
+      del.page_id = meta_page_id_;
+      del.op = RedoOp::kDelete;
+      del.payload = LogRecord::MakeKeyPayload(k);
+      Status s = mtr->Apply(*meta, std::move(del));
+      if (!s.ok()) return s;
+      EnsurePgExists(PgOf(id));
+      // The freed page may have been evicted; the buffer just needs to be
+      // resident — the format record rebuilds it from nothing.
+      Page* page = pool_.InstallNew(id);
+      LogRecord fmt;
+      fmt.page_id = id;
+      fmt.op = RedoOp::kFormatPage;
+      fmt.payload =
+          LogRecord::MakeFormatPayload(static_cast<uint8_t>(type), level);
+      s = mtr->Apply(page, std::move(fmt));
+      if (!s.ok()) return s;
+      ++stats_.pages_reused;
+      return page;
+    }
+  }
   Slice v;
   if (!(*meta)->GetRecord(kNextPageKey, &v) || v.size() != 8) {
     return Status::Corruption("allocator record missing");
@@ -581,6 +613,32 @@ Result<Page*> Database::AllocatePage(PageType type, uint8_t level,
   s = mtr->Apply(page, std::move(fmt));
   if (!s.ok()) return s;
   return page;
+}
+
+Status Database::FreePage(Page* page, MiniTransaction* mtr) {
+  Result<Page*> meta = GetPage(meta_page_id_);
+  if (!meta.ok()) return meta.status();
+  std::string key = kFreePagePrefix;
+  PutFixed64(&key, page->page_id());
+  // A meta page with no room only costs the reuse of this one id: leak it
+  // rather than fail the caller's already-applied structural change.
+  if ((*meta)->HasRoomFor(key.size(), 0)) {
+    LogRecord rec;
+    rec.page_id = meta_page_id_;
+    rec.op = RedoOp::kInsert;
+    rec.payload = LogRecord::MakeKeyValuePayload(key, Slice());
+    Status s = mtr->Apply(*meta, std::move(rec));
+    if (!s.ok()) return s;
+  }
+  LogRecord fmt;
+  fmt.page_id = page->page_id();
+  fmt.op = RedoOp::kFormatPage;
+  fmt.payload =
+      LogRecord::MakeFormatPayload(static_cast<uint8_t>(PageType::kFree), 0);
+  Status s = mtr->Apply(page, std::move(fmt));
+  if (!s.ok()) return s;
+  ++stats_.pages_freed;
+  return Status::OK();
 }
 
 void Database::StartPageFetch(PageId id) {

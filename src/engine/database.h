@@ -43,6 +43,11 @@ struct EngineStats {
   uint64_t backpressure_stalls = 0;  // ops deferred by the LAL (§4.2.1)
   uint64_t batch_retries = 0;
   uint64_t read_retries = 0;
+  /// Allocator free-list traffic: pages returned by empty-leaf unlinking
+  /// and pages handed back out instead of growing the page space (§5 undo
+  /// churn must reach a steady-state footprint).
+  uint64_t pages_freed = 0;
+  uint64_t pages_reused = 0;
   /// Storage rejections carrying a newer volume epoch (this writer has been
   /// superseded); the first one demotes the writer (see fenced()).
   uint64_t fenced_rejections = 0;
@@ -220,6 +225,7 @@ class Database : public WalSink, public PageProvider {
   Result<Page*> GetPage(PageId id) override;
   Result<Page*> AllocatePage(PageType type, uint8_t level,
                              MiniTransaction* mtr) override;
+  Status FreePage(Page* page, MiniTransaction* mtr) override;
   PageId last_miss() const override { return last_miss_; }
   size_t page_size() const override { return options_.page_size; }
 

@@ -81,6 +81,9 @@ class ReadReplica : public PageProvider {
   Result<Page*> AllocatePage(PageType, uint8_t, MiniTransaction*) override {
     return Status::NotSupported("replicas are read-only");
   }
+  Status FreePage(Page*, MiniTransaction*) override {
+    return Status::NotSupported("replicas are read-only");
+  }
   PageId last_miss() const override { return last_miss_; }
   size_t page_size() const override { return options_.page_size; }
 

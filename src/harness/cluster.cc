@@ -5,46 +5,55 @@
 namespace aurora {
 
 AuroraCluster::AuroraCluster(ClusterOptions options)
-    : options_(options), topology_(options.num_azs) {
+    : options_(options),
+      loop_(static_cast<uint32_t>(options.num_azs)),
+      topology_(options.num_azs) {
+  loop_.set_workers(static_cast<uint32_t>(
+      options_.sim_shards < 1 ? 1 : options_.sim_shards));
   Random rng(options_.seed);
-  network_ = std::make_unique<sim::Network>(&loop_, &topology_,
+  // The network's fallback loop and every global actor (S3 completions by
+  // default, failure injector, repair manager) live on the control shard:
+  // they observe and mutate the whole cluster, so they must run at barriers
+  // with every shard quiesced.
+  network_ = std::make_unique<sim::Network>(loop_.control(), &topology_,
                                             options_.fabric, rng.Fork());
   control_plane_ = std::make_unique<ControlPlane>(&topology_, rng.Fork());
-  s3_ = std::make_unique<SimS3>(&loop_, SimS3::Options{}, rng.Fork());
-  injector_ = std::make_unique<sim::FailureInjector>(&loop_, network_.get(),
-                                                     &topology_, rng.Fork());
+  s3_ = std::make_unique<SimS3>(loop_.control(), SimS3::Options{}, rng.Fork());
+  injector_ = std::make_unique<sim::FailureInjector>(
+      loop_.control(), network_.get(), &topology_, rng.Fork());
 
-  // Writer instance in AZ 0.
+  // Writer instance in AZ 0, homed on AZ 0's shard.
   writer_node_ = topology_.AddNode(0, "writer");
   writer_instance_ =
-      std::make_unique<sim::Instance>(&loop_, options_.writer_instance);
-  writer_ = std::make_unique<Database>(&loop_, network_.get(), writer_node_,
-                                       writer_instance_.get(),
+      std::make_unique<sim::Instance>(loop_.shard(0), options_.writer_instance);
+  writer_ = std::make_unique<Database>(loop_.shard(0), network_.get(),
+                                       writer_node_, writer_instance_.get(),
                                        control_plane_.get(), options_.engine,
                                        rng.Fork());
 
-  // Read replicas spread across AZs (§4.2.4 allows up to 15).
+  // Read replicas spread across AZs (§4.2.4 allows up to 15); each is homed
+  // on its AZ's shard.
   for (int i = 0; i < options_.num_replicas; ++i) {
     sim::AzId az = static_cast<sim::AzId>((i + 1) % options_.num_azs);
     sim::NodeId node = topology_.AddNode(az, "replica-" + std::to_string(i));
-    replica_instances_.push_back(
-        std::make_unique<sim::Instance>(&loop_, options_.replica_instance));
+    replica_instances_.push_back(std::make_unique<sim::Instance>(
+        loop_.shard(az), options_.replica_instance));
     auto replica = std::make_unique<ReadReplica>(
-        &loop_, network_.get(), node, replica_instances_.back().get(),
+        loop_.shard(az), network_.get(), node, replica_instances_.back().get(),
         control_plane_.get(), writer_node_, options_.engine, rng.Fork());
     writer_->AttachReplica(node);
     replicas_.push_back(std::move(replica));
   }
 
-  // Storage fleet: N hosts per AZ.
+  // Storage fleet: N hosts per AZ, each homed on its AZ's shard.
   for (int az = 0; az < options_.num_azs; ++az) {
     for (int i = 0; i < options_.storage_nodes_per_az; ++i) {
       sim::NodeId node = topology_.AddNode(
           static_cast<sim::AzId>(az),
           "storage-az" + std::to_string(az) + "-" + std::to_string(i));
       auto sn = std::make_unique<StorageNode>(
-          &loop_, network_.get(), node, control_plane_.get(), s3_.get(),
-          options_.storage, rng.Fork());
+          loop_.shard(static_cast<uint32_t>(az)), network_.get(), node,
+          control_plane_.get(), s3_.get(), options_.storage, rng.Fork());
       control_plane_->RegisterStorageNode(node, sn.get());
       StorageNode* raw = sn.get();
       injector_->RegisterNode(node, {[raw] { raw->Crash(); },
@@ -53,9 +62,19 @@ AuroraCluster::AuroraCluster(ClusterOptions options)
     }
   }
 
-  repair_ = std::make_unique<RepairManager>(&loop_, network_.get(),
-                                            &topology_, control_plane_.get(),
-                                            options_.repair, rng.Fork());
+  // Topology is complete: shard placement is node -> home AZ, and the fabric
+  // derives the PDES lookahead from the minimum cross-shard latency.
+  {
+    std::vector<uint32_t> shard_of(topology_.num_nodes());
+    for (sim::NodeId n = 0; n < topology_.num_nodes(); ++n) {
+      shard_of[n] = static_cast<uint32_t>(topology_.az_of(n));
+    }
+    network_->InstallShardRouting(&loop_, std::move(shard_of));
+  }
+
+  repair_ = std::make_unique<RepairManager>(
+      loop_.control(), network_.get(), &topology_, control_plane_.get(),
+      options_.repair, rng.Fork());
   if (options_.start_repair_manager) repair_->Start();
 
   RegisterAllMetrics();
@@ -89,6 +108,8 @@ void AuroraCluster::RegisterAllMetrics() {
         {"batch_encode_bytes_saved", &EngineStats::batch_encode_bytes_saved},
         {"fenced_rejections", &EngineStats::fenced_rejections},
         {"corrupt_frames_dropped", &EngineStats::corrupt_frames_dropped},
+        {"pages_freed", &EngineStats::pages_freed},
+        {"pages_reused", &EngineStats::pages_reused},
     };
     for (const CounterDef& def : kEngineCounters) {
       m->RegisterCounter(std::string("engine.writer.") + def.name,
@@ -194,6 +215,8 @@ void AuroraCluster::RegisterAllMetrics() {
     m->RegisterCounter(base + "gossip_records_sent", &s->gossip_records_sent);
     m->RegisterCounter(base + "gossip_records_filled",
                        &s->gossip_records_filled);
+    m->RegisterCounter(base + "gossip_state_transfers",
+                       &s->gossip_state_transfers);
     m->RegisterCounter(base + "records_coalesced", &s->records_coalesced);
     m->RegisterCounter(base + "records_gced", &s->records_gced);
     m->RegisterCounter(base + "scrub_rounds", &s->scrub_rounds);
@@ -293,18 +316,18 @@ void AuroraCluster::RegisterAllMetrics() {
     m->RegisterCounter("net.total.messages_dropped",
                        [net] { return net->total().messages_dropped; });
     m->RegisterCounter("net.adversary.duplicates_injected", [net] {
-      return net->adversary().duplicates_injected;
+      return net->adversary().duplicates_injected.load();
     });
     m->RegisterCounter("net.adversary.reordered",
-                       [net] { return net->adversary().reordered; });
+                       [net] { return net->adversary().reordered.load(); });
     m->RegisterCounter("net.adversary.corrupted_injected", [net] {
-      return net->adversary().corrupted_injected;
+      return net->adversary().corrupted_injected.load();
     });
     m->RegisterCounter("net.adversary.corrupted_dropped", [net] {
-      return net->adversary().corrupted_dropped;
+      return net->adversary().corrupted_dropped.load();
     });
     m->RegisterCounter("net.adversary.oneway_blocked",
-                       [net] { return net->adversary().oneway_blocked; });
+                       [net] { return net->adversary().oneway_blocked.load(); });
     for (sim::NodeId n = 0; n < topology_.num_nodes(); ++n) {
       const std::string base = "net." + topology_.name_of(n) + ".";
       m->RegisterCounter(base + "messages_sent",
@@ -350,6 +373,80 @@ void AuroraCluster::RegisterAllMetrics() {
                      [this] { return loop_.tombstones(); });
   m->RegisterCounter("sim.loop.heap_peak",
                      [this] { return static_cast<uint64_t>(loop_.heap_peak()); });
+
+  // --- PDES coordinator (DESIGN.md §11) -----------------------------------
+  // Per logical shard plus coordinator totals. All deterministic: functions
+  // of the partition and the event set, never of the worker-thread count.
+  // (Barrier stall wall-clock is intentionally absent — it is measured per
+  // run and belongs in bench JSON, not in a deterministic dump.)
+  for (uint32_t s = 0; s < loop_.num_shards(); ++s) {
+    const std::string base = "sim.loop.shard" + std::to_string(s) + ".";
+    sim::EventLoop* shard = loop_.shard(s);
+    m->RegisterCounter(base + "events_executed",
+                       [shard] { return shard->events_executed(); });
+    m->RegisterCounter(base + "tombstones",
+                       [shard] { return shard->tombstones(); });
+    m->RegisterCounter(base + "heap_peak", [shard] {
+      return static_cast<uint64_t>(shard->heap_peak());
+    });
+  }
+  m->RegisterCounter("sim.pdes.horizon_syncs",
+                     [this] { return loop_.horizon_syncs(); });
+  m->RegisterCounter("sim.pdes.mailbox_msgs",
+                     [this] { return loop_.mailbox_msgs(); });
+}
+
+void AuroraCluster::EnsurePgMetricsRegistered() {
+  const PgId total = static_cast<PgId>(control_plane_->num_pgs());
+  for (PgId pg = next_pg_metric_; pg < total; ++pg) {
+    const std::string base = "storage.pg" + std::to_string(pg) + ".";
+    ControlPlane* cp = control_plane_.get();
+    // Visits the PG's live, materialized segment replicas. Replicas on
+    // crashed hosts (or not yet materialized) are skipped: the gauges
+    // describe what the fleet can currently serve.
+    auto for_each_live = [cp, pg](auto fn) {
+      for (sim::NodeId n : cp->membership(pg).nodes) {
+        StorageNode* sn = cp->node(n);
+        if (sn == nullptr || sn->crashed()) continue;
+        const Segment* seg = sn->segment(pg);
+        if (seg == nullptr) continue;
+        fn(*seg);
+      }
+    };
+    metrics_.RegisterGauge(base + "scl_spread", [for_each_live] {
+      // Freshness skew: max - min segment-complete LSN across replicas.
+      uint64_t lo = 0, hi = 0;
+      bool seen = false;
+      for_each_live([&](const Segment& seg) {
+        const uint64_t scl = seg.scl();
+        if (!seen || scl < lo) lo = scl;
+        if (!seen || scl > hi) hi = scl;
+        seen = true;
+      });
+      return seen ? static_cast<double>(hi - lo) : 0.0;
+    });
+    metrics_.RegisterGauge(base + "hole_depth", [for_each_live] {
+      // Deepest gossip debt: records received beyond the first hole.
+      uint64_t depth = 0;
+      for_each_live([&](const Segment& seg) {
+        const uint64_t d =
+            seg.max_lsn() > seg.scl() ? seg.max_lsn() - seg.scl() : 0;
+        if (d > depth) depth = d;
+      });
+      return static_cast<double>(depth);
+    });
+    metrics_.RegisterGauge(base + "backup_lag", [for_each_live] {
+      // Widest backup window: complete records not yet staged to S3.
+      uint64_t lag = 0;
+      for_each_live([&](const Segment& seg) {
+        const uint64_t d =
+            seg.scl() > seg.backup_lsn() ? seg.scl() - seg.backup_lsn() : 0;
+        if (d > lag) lag = d;
+      });
+      return static_cast<double>(lag);
+    });
+  }
+  next_pg_metric_ = total;
 }
 
 AuroraCluster::~AuroraCluster() = default;
@@ -378,9 +475,10 @@ Status AuroraCluster::FailoverToReplicaSync(size_t i) {
   replicas_[i]->Crash();
   sim::Instance* instance = replica_instances_[i].get();
   Random rng(options_.seed ^ (0x9E3779B97F4A7C15ull + i));
+  // The promoted engine stays homed on its host's AZ shard.
   auto promoted = std::make_unique<Database>(
-      &loop_, network_.get(), node, instance, control_plane_.get(),
-      options_.engine, rng.Fork());
+      loop_.shard(topology_.az_of(node)), network_.get(), node, instance,
+      control_plane_.get(), options_.engine, rng.Fork());
   // Surviving replicas follow the new writer.
   for (size_t r = 0; r < replicas_.size(); ++r) {
     if (r == i) continue;
@@ -407,8 +505,8 @@ Status AuroraCluster::PromoteReplicaSync(size_t i) {
   sim::Instance* instance = replica_instances_[i].get();
   Random rng(options_.seed ^ (0xC2B2AE3D27D4EB4Full + i));
   auto promoted = std::make_unique<Database>(
-      &loop_, network_.get(), node, instance, control_plane_.get(),
-      options_.engine, rng.Fork());
+      loop_.shard(topology_.az_of(node)), network_.get(), node, instance,
+      control_plane_.get(), options_.engine, rng.Fork());
   for (size_t r = 0; r < replicas_.size(); ++r) {
     if (r == i) continue;
     promoted->AttachReplica(replicas_[r]->node_id());

@@ -12,6 +12,7 @@
 #include "quorum/quorum.h"
 #include "sim/event_loop.h"
 #include "sim/failure_injector.h"
+#include "sim/sharded_loop.h"
 #include "sim/instance.h"
 #include "sim/network.h"
 #include "sim/topology.h"
@@ -48,6 +49,10 @@ struct ClusterOptions {
   RepairOptions repair;
   bool start_repair_manager = true;
   uint64_t seed = 42;
+  /// Worker threads driving the per-AZ simulation shards (PDES, DESIGN.md
+  /// §11). Purely an execution knob: results are byte-identical for any
+  /// value. 1 = serial; clamped to [1, num_azs].
+  int sim_shards = 1;
 };
 
 class AuroraCluster {
@@ -58,7 +63,14 @@ class AuroraCluster {
   AuroraCluster(const AuroraCluster&) = delete;
   AuroraCluster& operator=(const AuroraCluster&) = delete;
 
-  sim::EventLoop* loop() { return &loop_; }
+  sim::ShardedEventLoop* loop() { return &loop_; }
+  /// The event loop of the shard the current writer is homed on — drivers
+  /// and client closures that call the writer engine directly must schedule
+  /// here. Re-resolve after a failover: promotion moves the writer to the
+  /// promoted replica's AZ shard.
+  sim::EventLoop* writer_loop() {
+    return loop_.shard(topology_.az_of(writer_node_));
+  }
   sim::Network* network() { return network_.get(); }
   sim::Topology* topology() { return &topology_; }
   ControlPlane* control_plane() { return control_plane_.get(); }
@@ -129,7 +141,10 @@ class AuroraCluster {
   /// through the cluster, so they stay valid across writer failover.
   MetricsRegistry* metrics() { return &metrics_; }
   /// One machine-readable JSON document with every metric in the cluster.
-  std::string DumpMetricsJson() { return metrics_.ToJson(); }
+  std::string DumpMetricsJson() {
+    EnsurePgMetricsRegistered();
+    return metrics_.ToJson();
+  }
 
   /// Counters the chaos tooling (ChaosEngine / InvariantChecker) writes
   /// into; surfaced as chaos.* in the metrics registry.
@@ -137,8 +152,12 @@ class AuroraCluster {
 
  private:
   void RegisterAllMetrics();
+  /// Registers storage.pgN.{scl_spread,hole_depth,backup_lag} gauges for
+  /// protection groups created since the last call (PGs appear lazily as
+  /// the writer grows the volume, so this runs before every dump).
+  void EnsurePgMetricsRegistered();
   ClusterOptions options_;
-  sim::EventLoop loop_;
+  sim::ShardedEventLoop loop_;
   sim::Topology topology_;
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<ControlPlane> control_plane_;
@@ -161,6 +180,8 @@ class AuroraCluster {
 
   ChaosCounters chaos_counters_;
   MetricsRegistry metrics_;
+  /// First PgId not yet covered by EnsurePgMetricsRegistered().
+  PgId next_pg_metric_ = 0;
 };
 
 }  // namespace aurora

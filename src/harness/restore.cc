@@ -51,7 +51,9 @@ Status RestoreClusterFromS3(SimS3* source, AuroraCluster* fresh, Lsn upto) {
     for (sim::NodeId node : members.nodes) {
       StorageNode* sn = fresh->storage_node_by_id(node);
       if (sn == nullptr) continue;
-      Segment* seg = sn->segment(pg);
+      // Materializes the (empty) replica — member segments are created
+      // lazily on first contact, and this restore load is the first contact.
+      Segment* seg = sn->EnsureSegment(pg);
       if (seg == nullptr) continue;
       for (const LogRecord& rec : records) {
         seg->AddRecord(rec);

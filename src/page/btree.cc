@@ -337,6 +337,85 @@ Status BTree::Upsert(const Slice& key, const Slice& value,
   return s;
 }
 
+Status BTree::PlanForUnlink(const std::vector<PathEntry>& path) {
+  Page* leaf = path.back().page;
+  if (leaf->prev_page() != kInvalidPage) {
+    Result<Page*> p = provider_->GetPage(leaf->prev_page());
+    if (!p.ok()) return p.status();
+  }
+  if (leaf->next_page() != kInvalidPage) {
+    Result<Page*> p = provider_->GetPage(leaf->next_page());
+    if (!p.ok()) return p.status();
+  }
+  return Status::OK();
+}
+
+Status BTree::UnlinkEmptyLeaf(std::vector<PathEntry>* path,
+                              MiniTransaction* mtr) {
+  Page* leaf = path->back().page;
+  Page* parent = (*path)[path->size() - 2].page;
+  const int slot = (*path)[path->size() - 2].child_slot;
+  AURORA_CHECK(leaf->slot_count() == 0, "unlinking a non-empty leaf");
+  AURORA_CHECK(slot >= 0 && DecodeChild(parent->ValueAt(slot)) ==
+                                leaf->page_id(),
+               "parent slot does not reference the unlinked leaf");
+
+  // Splice the leaf out of the sibling chain: prev <-> next.
+  const PageId prev = leaf->prev_page();
+  const PageId next = leaf->next_page();
+  if (prev != kInvalidPage) {
+    Result<Page*> p = provider_->GetPage(prev);
+    AURORA_CHECK(p.ok(), "left sibling not resident during unlink");
+    LogRecord rec;
+    rec.page_id = prev;
+    rec.op = RedoOp::kSetNext;
+    rec.payload = LogRecord::MakePageIdPayload(next);
+    Status s = mtr->Apply(*p, std::move(rec));
+    if (!s.ok()) return s;
+  }
+  if (next != kInvalidPage) {
+    Result<Page*> p = provider_->GetPage(next);
+    AURORA_CHECK(p.ok(), "right sibling not resident during unlink");
+    LogRecord rec;
+    rec.page_id = next;
+    rec.op = RedoOp::kSetPrev;
+    rec.payload = LogRecord::MakePageIdPayload(prev);
+    Status s = mtr->Apply(*p, std::move(rec));
+    if (!s.ok()) return s;
+  }
+
+  // Drop the parent's child entry. The slot-0 key is the subtree's lower
+  // bound (the empty key at the root); deleting it outright would strand
+  // every key below the next separator during descent, so removing the
+  // leftmost child instead re-points the slot-0 separator at its right
+  // neighbour and drops that neighbour's own entry.
+  if (slot == 0) {
+    std::string sep0 = parent->KeyAt(0).ToString();
+    std::string key1 = parent->KeyAt(1).ToString();
+    std::string child1 = parent->ValueAt(1).ToString();
+    LogRecord rec;
+    rec.page_id = parent->page_id();
+    rec.op = RedoOp::kUpdate;
+    rec.payload = LogRecord::MakeKeyValuePayload(sep0, child1);
+    Status s = mtr->Apply(parent, std::move(rec));
+    if (!s.ok()) return s;
+    rec = LogRecord();
+    rec.page_id = parent->page_id();
+    rec.op = RedoOp::kDelete;
+    rec.payload = LogRecord::MakeKeyPayload(key1);
+    s = mtr->Apply(parent, std::move(rec));
+    if (!s.ok()) return s;
+  } else {
+    LogRecord rec;
+    rec.page_id = parent->page_id();
+    rec.op = RedoOp::kDelete;
+    rec.payload = LogRecord::MakeKeyPayload(parent->KeyAt(slot));
+    Status s = mtr->Apply(parent, std::move(rec));
+    if (!s.ok()) return s;
+  }
+  return provider_->FreePage(leaf, mtr);
+}
+
 Status BTree::Delete(const Slice& key, MiniTransaction* mtr) {
   std::vector<PathEntry> path;
   Status s = DescendToLeaf(key, &path);
@@ -344,11 +423,24 @@ Status BTree::Delete(const Slice& key, MiniTransaction* mtr) {
   Page* leaf = path.back().page;
   Slice v;
   if (!leaf->GetRecord(key, &v)) return Status::NotFound("key not found");
+  // An emptied leaf is unlinked and freed when its parent can spare the
+  // child entry (a parent's last child stays, like the root, so descent
+  // always finds a leaf). Residency of everything the unlink touches is
+  // ensured before the first mutation; a Busy here restarts cleanly.
+  const bool unlink = leaf->slot_count() == 1 && path.size() > 1 &&
+                      path[path.size() - 2].page->slot_count() >= 2;
+  if (unlink) {
+    s = PlanForUnlink(path);
+    if (!s.ok()) return s;
+  }
   LogRecord rec;
   rec.page_id = leaf->page_id();
   rec.op = RedoOp::kDelete;
   rec.payload = LogRecord::MakeKeyPayload(key);
-  return mtr->Apply(leaf, std::move(rec));
+  s = mtr->Apply(leaf, std::move(rec));
+  if (!s.ok()) return s;
+  if (unlink) return UnlinkEmptyLeaf(&path, mtr);
+  return Status::OK();
 }
 
 Status BTree::Scan(const Slice& start, int limit,

@@ -50,8 +50,11 @@ class BTree {
   /// Inserts or updates.
   Status Upsert(const Slice& key, const Slice& value, MiniTransaction* mtr);
 
-  /// Deletes a key. NotFound if absent. Space is reclaimed lazily (no page
-  /// merging; freed pages are reused when they empty out is future work).
+  /// Deletes a key. NotFound if absent. A leaf emptied by the delete is
+  /// unlinked from the sibling chain, its separator is removed from the
+  /// parent, and the page is returned to the provider's free-list — so
+  /// insert/delete churn reaches a steady-state page count instead of
+  /// growing without bound. (Partially filled pages are still not merged.)
   Status Delete(const Slice& key, MiniTransaction* mtr);
 
   /// Range scan: up to `limit` records with key >= start, in order.
@@ -82,6 +85,14 @@ class BTree {
   /// resident; returns Busy (with fetch started) otherwise.
   Status PlanForInsert(const std::vector<PathEntry>& path, size_t key_size,
                        size_t value_size);
+
+  /// Ensures both sibling leaves of a leaf about to be unlinked are
+  /// resident; returns Busy (with fetch started) otherwise.
+  Status PlanForUnlink(const std::vector<PathEntry>& path);
+
+  /// Splices the (just emptied) leaf at the end of `path` out of the leaf
+  /// chain, drops its child entry from the parent and frees the page.
+  Status UnlinkEmptyLeaf(std::vector<PathEntry>* path, MiniTransaction* mtr);
 
   /// Splits `page` (leaf or internal), inserting the separator into the
   /// parent, cascading upward; `path` is the descent path with `page` last.

@@ -29,9 +29,18 @@ class PageProvider {
   virtual Result<Page*> GetPage(PageId id) = 0;
 
   /// Allocates a fresh page id, formats the page through `mtr` (so the
-  /// allocation itself is redo-logged) and returns it resident.
+  /// allocation itself is redo-logged) and returns it resident. Providers
+  /// with a free-list hand back previously freed ids before growing the
+  /// page space.
   virtual Result<Page*> AllocatePage(PageType type, uint8_t level,
                                      MiniTransaction* mtr) = 0;
+
+  /// Returns `page` to the allocator: reformats it as kFree through `mtr`
+  /// (the free is redo-logged like any structural change) and queues its id
+  /// for reuse by a later AllocatePage. The caller must already have
+  /// unlinked the page from every durable structure. Read-only providers
+  /// reject the call.
+  virtual Status FreePage(Page* page, MiniTransaction* mtr) = 0;
 
   /// Id of the page that caused the most recent Busy return.
   virtual PageId last_miss() const = 0;

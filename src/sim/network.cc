@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/crc32c.h"
+#include "common/logging.h"
+#include "sim/sharded_loop.h"
 
 namespace aurora::sim {
 
@@ -20,6 +22,52 @@ void Network::Register(NodeId node, Handler handler) {
     latency_factor_.resize(node + 1, 1.0);
   }
   handlers_[node] = std::move(handler);
+}
+
+void Network::InstallShardRouting(ShardedEventLoop* pdes,
+                                  std::vector<uint32_t> shard_of) {
+  pdes_ = pdes;
+  shard_of_node_ = std::move(shard_of);
+  const NodeId n = static_cast<NodeId>(shard_of_node_.size());
+  AURORA_CHECK(n > 0, "shard routing needs a placement map");
+  // Pre-size every per-node vector so windows never resize them: shard
+  // threads index these concurrently and only barriers may reallocate.
+  if (handlers_.size() < n) {
+    handlers_.resize(n);
+    stats_.resize(n);
+    nic_busy_until_.resize(n, 0);
+    latency_factor_.resize(n, 1.0);
+  }
+  node_rng_.clear();
+  node_rng_.reserve(n);
+  for (NodeId i = 0; i < n; ++i) node_rng_.push_back(rng_.Fork());
+
+  // Lookahead: every routed delivery is scheduled at least PropagationDelay's
+  // floor (base/4) after the send, so the minimum floor over cross-shard
+  // pairs bounds how far one shard can run ahead without missing mail.
+  SimDuration lookahead = 0;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (shard_of_node_[a] == shard_of_node_[b]) continue;
+      SimDuration base = topology_->SameAz(a, b) ? options_.intra_az_latency
+                                                 : options_.cross_az_latency;
+      SimDuration floor = std::max<SimDuration>(1, base / 4);
+      if (lookahead == 0 || floor < lookahead) lookahead = floor;
+    }
+  }
+  pdes_->set_lookahead(lookahead == 0 ? 1 : lookahead);
+}
+
+EventLoop* Network::ContextLoop(NodeId from) {
+  if (pdes_ == nullptr) return loop_;
+  AURORA_CHECK(from < shard_of_node_.size(), "send from unplaced node");
+  return pdes_->shard(shard_of_node_[from]);
+}
+
+Random& Network::RngFor(NodeId from) {
+  if (pdes_ == nullptr) return rng_;
+  AURORA_CHECK(from < node_rng_.size(), "send from unplaced node");
+  return node_rng_[from];
 }
 
 bool Network::Reachable(NodeId from, NodeId to) const {
@@ -47,10 +95,14 @@ SimDuration Network::PropagationDelay(NodeId from, NodeId to) {
     base = options_.cross_az_latency;
   }
   // Heavy-tailed jitter: multiply by a log-normal factor with median 1.
-  double jitter = rng_.LogNormal(1.0, options_.jitter_sigma);
+  double jitter = RngFor(from).LogNormal(1.0, options_.jitter_sigma);
   double factor = LatencyFactor(from) * LatencyFactor(to);
   auto d = static_cast<SimDuration>(static_cast<double>(base) * jitter * factor);
-  return std::max<SimDuration>(d, 1);
+  // Floor at a quarter of the undisturbed base latency. With sigma 0.25 the
+  // jitter binds here with probability ~2e-8 (a -5.5 sigma draw), so the
+  // latency distribution is unchanged in practice — but the floor is a hard
+  // guarantee the PDES lookahead derivation (InstallShardRouting) relies on.
+  return std::max<SimDuration>(d, std::max<SimDuration>(1, base / 4));
 }
 
 void Network::Send(NodeId from, NodeId to, uint16_t type,
@@ -69,6 +121,13 @@ void Network::SendImpl(NodeId from, NodeId to, uint16_t type,
   if (from >= handlers_.size()) Register(from, nullptr);
   if (to >= handlers_.size()) Register(to, nullptr);
 
+  // Under PDES routing a send runs on the source node's home shard (or at a
+  // barrier, where every clock agrees); all per-sender state below —
+  // stats_[from], nic_busy_until_[from], the per-node RNG — is therefore
+  // only ever touched from that shard's context.
+  EventLoop* ctx = ContextLoop(from);
+  Random& rng = RngFor(from);
+
   const size_t wire_bytes = header.size() + (body ? body->size() : 0);
   NetStats& s = stats_[from];
   s.messages_sent++;
@@ -80,12 +139,12 @@ void Network::SendImpl(NodeId from, NodeId to, uint16_t type,
   // any loss decision — a message dropped in transit (or addressed to a dead
   // host) still occupied the sender's NIC, so lossy links don't grant the
   // sender free bandwidth.
-  SimTime start = std::max(loop_->now(), nic_busy_until_[from]);
+  SimTime start = std::max(ctx->now(), nic_busy_until_[from]);
   auto transmit = static_cast<SimDuration>(
       static_cast<double>(wire_bytes) / options_.node_bandwidth_bps * 1e6);
   nic_busy_until_[from] = start + transmit;
 
-  if (!Reachable(from, to) || rng_.Bernoulli(drop_probability_)) {
+  if (!Reachable(from, to) || rng.Bernoulli(drop_probability_)) {
     if (oneway_partitions_.count({from, to})) adversary_.oneway_blocked++;
     s.messages_dropped++;
     return;
@@ -99,7 +158,7 @@ void Network::SendImpl(NodeId from, NodeId to, uint16_t type,
   msg.type = type;
   msg.header = std::move(header);
   msg.body = std::move(body);
-  msg.sent_at = loop_->now();
+  msg.sent_at = ctx->now();
   // Frame checksum, stamped before any adversarial corruption so receivers
   // can tell a mangled frame from a clean one.
   msg.frame_crc = crc32c::Value(msg.header.data(), msg.header.size());
@@ -111,12 +170,12 @@ void Network::SendImpl(NodeId from, NodeId to, uint16_t type,
   // Adversary: bit-flip corruption. The body fragment may be shared with
   // other in-flight fan-out copies, so corruption first materializes a
   // private single-fragment payload — never mutate the shared body.
-  if (rng_.Bernoulli(corrupt_probability_) && wire_bytes > 0) {
+  if (rng.Bernoulli(corrupt_probability_) && wire_bytes > 0) {
     if (msg.body) {
       msg.header.append(*msg.body);
       msg.body.reset();
     }
-    uint64_t bit = rng_.Uniform(msg.header.size() * 8);
+    uint64_t bit = rng.Uniform(msg.header.size() * 8);
     msg.header[bit / 8] ^= static_cast<char>(1u << (bit % 8));
     adversary_.corrupted_injected++;
   }
@@ -124,7 +183,7 @@ void Network::SendImpl(NodeId from, NodeId to, uint16_t type,
   // Adversary: bounded reordering — an extra uniform delay lets messages
   // inside the window overtake each other.
   if (reorder_window_ > 0) {
-    SimDuration extra = rng_.UniformRange(0, reorder_window_);
+    SimDuration extra = rng.UniformRange(0, reorder_window_);
     if (extra > 0) {
       deliver_at += extra;
       adversary_.reordered++;
@@ -133,9 +192,9 @@ void Network::SendImpl(NodeId from, NodeId to, uint16_t type,
 
   // Adversary: duplication. The copy shares the refcounted body and gets an
   // independently drawn delivery time, so it can arrive before the original.
-  if (rng_.Bernoulli(duplicate_probability_)) {
+  if (rng.Bernoulli(duplicate_probability_)) {
     SimTime dup_at = start + transmit + PropagationDelay(from, to);
-    if (reorder_window_ > 0) dup_at += rng_.UniformRange(0, reorder_window_);
+    if (reorder_window_ > 0) dup_at += rng.UniformRange(0, reorder_window_);
     adversary_.duplicates_injected++;
     ScheduleDelivery(dup_at, msg);
   }
@@ -144,10 +203,13 @@ void Network::SendImpl(NodeId from, NodeId to, uint16_t type,
 }
 
 void Network::ScheduleDelivery(SimTime at, Message msg) {
+  const NodeId from = msg.from;
+  const NodeId to = msg.to;
   // The delivery closure carries the message fragments as-is: the shared
-  // body is never copied per receiver, and the whole capture fits EventFn's
-  // inline buffer (no allocation per message in steady state).
-  loop_->ScheduleAt(at, [this, msg = std::move(msg)]() {
+  // body is never copied per receiver (the refcount crossing shards is the
+  // only synchronized touch), and the whole capture fits EventFn's inline
+  // buffer (no allocation per message in steady state).
+  EventFn deliver = [this, msg = std::move(msg)]() {
     // Re-check reachability at delivery time: a crash while the message
     // was in flight loses it.
     if (!Reachable(msg.from, msg.to)) {
@@ -159,7 +221,21 @@ void Network::ScheduleDelivery(SimTime at, Message msg) {
     if (msg.to >= handlers_.size() || !handlers_[msg.to]) return;
     stats_[msg.to].messages_received++;
     handlers_[msg.to](msg);
-  });
+  };
+  if (pdes_ == nullptr) {
+    loop_->ScheduleAt(at, std::move(deliver));
+    return;
+  }
+  AURORA_CHECK(to < shard_of_node_.size(), "delivery to unplaced node");
+  const uint32_t src_shard = shard_of_node_[from];
+  const uint32_t dst_shard = shard_of_node_[to];
+  if (src_shard == dst_shard) {
+    // Same-shard traffic needs no synchronization: the destination heap is
+    // the sender's own (or the world is quiesced at a barrier).
+    pdes_->shard(dst_shard)->ScheduleAt(at, std::move(deliver));
+  } else {
+    pdes_->Mail(src_shard, dst_shard, at, std::move(deliver));
+  }
 }
 
 bool Network::VerifyFrame(const Message& msg) {

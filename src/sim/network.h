@@ -1,6 +1,7 @@
 #ifndef AURORA_SIM_NETWORK_H_
 #define AURORA_SIM_NETWORK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <set>
@@ -16,6 +17,8 @@
 #include "sim/topology.h"
 
 namespace aurora::sim {
+
+class ShardedEventLoop;
 
 /// A message in flight between simulated hosts. Payloads are real serialized
 /// bytes so that byte/packet accounting (the paper's PPS and bandwidth
@@ -79,13 +82,16 @@ struct NetStats {
 };
 
 /// Fabric-wide adversary counters (surfaced as net.adversary.*). All zero
-/// unless the corresponding knob is enabled.
+/// unless the corresponding knob is enabled. Atomics: under PDES these are
+/// bumped from several shard threads at once (send-side on the source shard,
+/// VerifyFrame on the destination shard); the final sums are commutative, so
+/// relaxed increments keep the dump deterministic.
 struct AdversaryStats {
-  uint64_t duplicates_injected = 0;  // extra deliveries scheduled
-  uint64_t reordered = 0;            // deliveries given extra scramble delay
-  uint64_t corrupted_injected = 0;   // frames with a bit flipped in transit
-  uint64_t corrupted_dropped = 0;    // frames rejected by VerifyFrame
-  uint64_t oneway_blocked = 0;       // sends/deliveries eaten by a one-way cut
+  std::atomic<uint64_t> duplicates_injected{0};  // extra deliveries scheduled
+  std::atomic<uint64_t> reordered{0};      // deliveries given scramble delay
+  std::atomic<uint64_t> corrupted_injected{0};  // frames bit-flipped in transit
+  std::atomic<uint64_t> corrupted_dropped{0};   // rejected by VerifyFrame
+  std::atomic<uint64_t> oneway_blocked{0};  // eaten by a one-way cut
 };
 
 /// The region's network fabric: delivers messages between registered hosts
@@ -109,6 +115,19 @@ class Network {
   /// Installs the receive handler for `node`. A node without a handler drops
   /// everything addressed to it.
   void Register(NodeId node, Handler handler);
+
+  /// Switches the fabric to conservative-PDES routing (DESIGN.md §11):
+  /// `shard_of[node]` homes each node on one logical shard of `pdes`.
+  /// Same-shard deliveries go straight onto the destination shard's heap;
+  /// cross-shard deliveries travel through the coordinator's mailboxes.
+  /// Each node also gets a private RNG stream (forked deterministically from
+  /// the fabric seed) so jitter/adversary draws depend only on that node's
+  /// own send sequence, never on how shards interleave. Also derives the
+  /// PDES lookahead — the propagation-delay floor (base/4) minimized over
+  /// node pairs homed on different shards — and installs it on `pdes`.
+  /// Call once, after every node is registered and before the run starts.
+  void InstallShardRouting(ShardedEventLoop* pdes,
+                           std::vector<uint32_t> shard_of);
 
   /// Sends `payload` from `from` to `to`. Delivery is asynchronous; the
   /// message is silently dropped if either endpoint is down/partitioned at
@@ -178,11 +197,21 @@ class Network {
   bool Reachable(NodeId from, NodeId to) const;
   SimDuration PropagationDelay(NodeId from, NodeId to);
   double LatencyFactor(NodeId n) const;
+  /// The clock governing a send from `from`: its home shard's loop under
+  /// PDES routing, the plain fabric loop otherwise.
+  EventLoop* ContextLoop(NodeId from);
+  /// RNG stream for sends from `from` (per-node under PDES routing).
+  Random& RngFor(NodeId from);
 
   EventLoop* loop_;
   const Topology* topology_;
   FabricOptions options_;
   Random rng_;
+
+  // PDES routing (null/empty when running on a single loop).
+  ShardedEventLoop* pdes_ = nullptr;
+  std::vector<uint32_t> shard_of_node_;
+  std::vector<Random> node_rng_;
 
   std::vector<Handler> handlers_;
   std::vector<NetStats> stats_;

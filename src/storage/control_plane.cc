@@ -30,18 +30,37 @@ PgId CreatePgImplPick(const sim::Topology* topology,
 }
 
 PgId ControlPlane::CreatePg(size_t page_size) {
+  MutexLock lock(&mu_);
   PgMembership members;
   CreatePgImplPick(topology_, nodes_, &rng_, &members.nodes);
+  members.page_size = page_size;
   PgId pg = next_pg_++;
   memberships_[pg] = members;
-  for (sim::NodeId id : members.nodes) {
-    nodes_.at(id)->CreateSegment(pg, page_size);
-  }
+  // No segments are instantiated here: each member host materializes its
+  // replica lazily on first contact (StorageNode::EnsureSegment), so volume
+  // growth never mutates state homed on another PDES shard.
   return pg;
+}
+
+const PgMembership& ControlPlane::membership(PgId pg) const {
+  MutexLock lock(&mu_);
+  auto it = memberships_.find(pg);
+  AURORA_CHECK(it != memberships_.end(), "unknown PG");
+  return it->second;
+}
+
+bool ControlPlane::MemberPageSize(PgId pg, sim::NodeId node,
+                                  size_t* page_size) const {
+  MutexLock lock(&mu_);
+  auto it = memberships_.find(pg);
+  if (it == memberships_.end() || it->second.IndexOf(node) < 0) return false;
+  *page_size = it->second.page_size;
+  return true;
 }
 
 void ControlPlane::ReplaceReplica(PgId pg, ReplicaIdx idx,
                                   sim::NodeId replacement) {
+  MutexLock lock(&mu_);
   auto it = memberships_.find(pg);
   AURORA_CHECK(it != memberships_.end(), "unknown PG in ReplaceReplica");
   it->second.nodes[idx] = replacement;
@@ -58,6 +77,7 @@ void ControlPlane::SetPageSynthesizer(
 
 std::vector<std::pair<PgId, ReplicaIdx>> ControlPlane::ReplicasOnNode(
     sim::NodeId node) const {
+  MutexLock lock(&mu_);
   std::vector<std::pair<PgId, ReplicaIdx>> out;
   for (const auto& [pg, members] : memberships_) {
     int idx = members.IndexOf(node);

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "log/types.h"
 #include "sim/topology.h"
 
@@ -20,6 +21,9 @@ class StorageNode;
 struct PgMembership {
   std::array<sim::NodeId, kReplicasPerPg> nodes;
   uint64_t config_epoch = 0;
+  /// Page size the volume was created with; member hosts materialize their
+  /// segment replica lazily from this (see StorageNode::EnsureSegment).
+  size_t page_size = 0;
 
   int IndexOf(sim::NodeId node) const {
     for (int i = 0; i < kReplicasPerPg; ++i) {
@@ -56,15 +60,23 @@ class ControlPlane {
 
   /// Creates a protection group: picks two storage hosts in each of three
   /// AZs ("segments are placed with high entropy", §3.3 — randomized,
-  /// load-spread placement) and instantiates a segment replica on each.
+  /// load-spread placement) and records the membership. Member hosts
+  /// materialize their segment replicas lazily on first contact
+  /// (StorageNode::EnsureSegment) — under PDES the writer grows the volume
+  /// from its own shard mid-run, and must not reach into segment state homed
+  /// on other shards.
   PgId CreatePg(size_t page_size);
 
-  size_t num_pgs() const { return memberships_.size(); }
-  const PgMembership& membership(PgId pg) const {
-    auto it = memberships_.find(pg);
-    AURORA_CHECK(it != memberships_.end(), "unknown PG");
-    return it->second;
+  size_t num_pgs() const {
+    MutexLock lock(&mu_);
+    return memberships_.size();
   }
+  /// The returned reference is stable (map nodes never move); its contents
+  /// change only via ReplaceReplica, which runs with the world quiesced.
+  const PgMembership& membership(PgId pg) const;
+  /// If `node` hosts a replica of `pg`, returns true and sets `*page_size`
+  /// to the volume's page size (the lazy-materialization handshake).
+  bool MemberPageSize(PgId pg, sim::NodeId node, size_t* page_size) const;
 
   /// Swaps a failed replica for `replacement` (repair / heat management);
   /// bumps the PG's config epoch.
@@ -107,8 +119,12 @@ class ControlPlane {
   const sim::Topology* topology_;
   Random rng_;
   std::map<sim::NodeId, StorageNode*> nodes_;
-  std::map<PgId, PgMembership> memberships_;
-  PgId next_pg_ = 0;
+  /// Guards the membership map: the writer inserts PGs mid-run from its home
+  /// shard while storage hosts on other shards look memberships up (gossip
+  /// peer choice, lazy segment materialization).
+  mutable Mutex mu_;
+  std::map<PgId, PgMembership> memberships_ GUARDED_BY(mu_);
+  PgId next_pg_ GUARDED_BY(mu_) = 0;
   std::function<bool(PageId, class Page*)> synthesizer_;
   Epoch volume_epoch_ = 1;
   std::vector<TruncationRange> truncations_;

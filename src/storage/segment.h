@@ -154,6 +154,12 @@ class Segment {
   /// PGMRPL (Figure 4 step 7). Returns how many records were collected.
   size_t GarbageCollect();
 
+  /// True while the retained hot log still holds the successor record of a
+  /// replica whose contiguous prefix ends at `scl` — i.e., log shipping can
+  /// still bridge that replica's gap. Once GC collects the successor, the
+  /// gap is only healable by a full state copy.
+  bool CanBridgeFrom(Lsn scl) const { return chain_.count(scl) > 0; }
+
   /// Removes every record with LSN > `above`. Stale if `epoch` is older than
   /// the segment's current epoch; otherwise adopts the epoch. Idempotent.
   Status Truncate(Lsn above, Epoch epoch);

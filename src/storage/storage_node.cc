@@ -37,6 +37,15 @@ void StorageNode::InstallSynthesizerOnSegments(
   }
 }
 
+Segment* StorageNode::EnsureSegment(PgId pg) {
+  auto it = segments_.find(pg);
+  if (it != segments_.end()) return it->second.get();
+  size_t page_size = 0;
+  if (!control_plane_->MemberPageSize(pg, id_, &page_size)) return nullptr;
+  CreateSegment(pg, page_size);
+  return segments_.at(pg).get();
+}
+
 void StorageNode::DropSegment(PgId pg) { segments_.erase(pg); }
 
 Segment* StorageNode::segment(PgId pg) {
@@ -184,7 +193,7 @@ void StorageNode::HandleWriteBatch(const sim::Message& msg) {
   if (!WriteBatchMsg::DecodeFrom(msg.head(), msg.body_view(), &batch).ok()) {
     return;
   }
-  Segment* seg = segment(batch.pg);
+  Segment* seg = EnsureSegment(batch.pg);
   if (seg == nullptr) return;  // not a member (anymore)
   ++stats_.batches_received;
 
@@ -268,7 +277,7 @@ void StorageNode::HandleReadPage(const sim::Message& msg) {
   if (!ReadPageReqMsg::DecodeFrom(msg.payload(), &req).ok()) return;
   const uint64_t gen = generation_;
   // One device read to serve a page miss.
-  Segment* seg = segment(req.pg);
+  Segment* seg = EnsureSegment(req.pg);
   size_t read_bytes = seg ? seg->page_size() : 4096;
   disk_.Read(read_bytes, [this, gen, req, from = msg.from](Status ds) {
     if (gen != generation_ || crashed_) return;
@@ -307,7 +316,7 @@ void StorageNode::HandleReadPage(const sim::Message& msg) {
 void StorageNode::HandleInventory(const sim::Message& msg) {
   InventoryReqMsg req;
   if (!InventoryReqMsg::DecodeFrom(msg.payload(), &req).ok()) return;
-  Segment* seg = segment(req.pg);
+  Segment* seg = EnsureSegment(req.pg);
   if (seg == nullptr) return;
   InventoryRespMsg resp;
   resp.req_id = req.req_id;
@@ -326,7 +335,7 @@ void StorageNode::HandleInventory(const sim::Message& msg) {
 void StorageNode::HandleTruncate(const sim::Message& msg) {
   TruncateReqMsg req;
   if (!TruncateReqMsg::DecodeFrom(msg.payload(), &req).ok()) return;
-  Segment* seg = segment(req.pg);
+  Segment* seg = EnsureSegment(req.pg);
   if (seg == nullptr) return;
   Status s = seg->Truncate(req.truncate_above, req.epoch);
   if (s.IsStale()) ++stats_.stale_epoch_rejects;
@@ -350,7 +359,7 @@ void StorageNode::HandleTruncate(const sim::Message& msg) {
 void StorageNode::HandlePgmrpl(const sim::Message& msg) {
   PgmrplMsg m;
   if (!PgmrplMsg::DecodeFrom(msg.payload(), &m).ok()) return;
-  Segment* seg = segment(m.pg);
+  Segment* seg = EnsureSegment(m.pg);
   if (seg == nullptr) return;
   seg->SetPgmrpl(m.pgmrpl);
   if (m.has_snapshot) {
@@ -397,12 +406,32 @@ void StorageNode::GossipTick() {
 void StorageNode::HandleGossipPull(const sim::Message& msg) {
   GossipPullMsg pull;
   if (!GossipPullMsg::DecodeFrom(msg.payload(), &pull).ok()) return;
-  Segment* seg = segment(pull.pg);
+  Segment* seg = EnsureSegment(pull.pg);
   if (seg == nullptr) return;
   // A puller on a newer epoch fences this segment forward (it clearly
   // survived a promotion this replica slept through).
   seg->ObserveEpoch(pull.epoch);
   if (seg->max_lsn() <= pull.scl) return;  // nothing to offer
+  if (seg->scl() > pull.scl && !seg->CanBridgeFrom(pull.scl)) {
+    // GC already collected the successor of the puller's contiguous prefix:
+    // log shipping can never close its gap, no matter how many rounds run.
+    // Fall back to the full state copy repair uses (the installer refuses
+    // copies that would lose records, so a stale copy is just ignored).
+    ++stats_.gossip_state_transfers;
+    SegmentStateRespMsg resp;
+    resp.req_id = 0;
+    resp.pg = pull.pg;
+    seg->SerializeTo(&resp.state);
+    const uint64_t gen = generation_;
+    disk_.Read(resp.state.size(), [this, gen, resp = std::move(resp),
+                                   from = msg.from](Status s) mutable {
+      if (gen != generation_ || crashed_ || !s.ok()) return;
+      std::string payload;
+      resp.EncodeTo(&payload);
+      network_->Send(id_, from, kMsgSegmentStateResp, std::move(payload));
+    });
+    return;
+  }
   std::vector<const LogRecord*> records =
       seg->RecordsAbove(pull.scl, options_.gossip_max_records);
   if (records.empty()) return;
@@ -415,7 +444,7 @@ void StorageNode::HandleGossipPull(const sim::Message& msg) {
 void StorageNode::HandleGossipPush(const sim::Message& msg) {
   GossipPushMsg push;
   if (!GossipPushMsg::DecodeFrom(msg.payload(), &push).ok()) return;
-  Segment* seg = segment(push.pg);
+  Segment* seg = EnsureSegment(push.pg);
   if (seg == nullptr) return;
   // Epoch gate: a push from a segment on an older epoch may carry records a
   // recovery truncation annulled (truncation needs only a 4/6 quorum, so a
@@ -498,25 +527,34 @@ void StorageNode::ScrubTick() {
     // and if the log is gone, fetch the page from a healthy peer.
     std::vector<PageId> bad(seg->corrupt_pages().begin(),
                             seg->corrupt_pages().end());
+    const PgId pg_id = pg;
     for (PageId page : bad) {
       seg->DropPageForRepair(page);
       // Fetch a healthy copy from any live peer (control-plane mediated;
       // whole-segment repair uses the SegmentStateReq data path instead).
-      const PgMembership& members = control_plane_->membership(pg);
-      for (sim::NodeId peer : members.nodes) {
-        if (peer == id_) continue;
-        StorageNode* peer_node = control_plane_->node(peer);
-        if (peer_node == nullptr || peer_node->crashed()) continue;
-        const Segment* peer_seg = peer_node->segment(pg);
-        if (peer_seg == nullptr) continue;
-        Result<Page> healthy =
-            peer_seg->GetPageAsOf(page, peer_seg->applied_lsn());
-        if (healthy.ok()) {
-          seg->RestoreBasePage(page, std::move(*healthy));
-          ++stats_.corrupt_pages_repaired;
-          break;
+      // Peer segment state is homed on other PDES shards, so the fetch runs
+      // at the next barrier with the whole world quiesced; until then the
+      // dropped page re-materializes from the log on demand.
+      loop_->PostControl(0, [this, gen, pg_id, page] {
+        if (gen != generation_ || crashed_) return;
+        Segment* seg = segment(pg_id);
+        if (seg == nullptr) return;
+        const PgMembership& members = control_plane_->membership(pg_id);
+        for (sim::NodeId peer : members.nodes) {
+          if (peer == id_) continue;
+          StorageNode* peer_node = control_plane_->node(peer);
+          if (peer_node == nullptr || peer_node->crashed()) continue;
+          const Segment* peer_seg = peer_node->segment(pg_id);
+          if (peer_seg == nullptr) continue;
+          Result<Page> healthy =
+              peer_seg->GetPageAsOf(page, peer_seg->applied_lsn());
+          if (healthy.ok()) {
+            seg->RestoreBasePage(page, std::move(*healthy));
+            ++stats_.corrupt_pages_repaired;
+            break;
+          }
         }
-      }
+      });
     }
   }
 }
@@ -556,7 +594,8 @@ void StorageNode::BackupTick() {
     snprintf(key, sizeof(key), "backup/pg%06u/%020llu",
              static_cast<unsigned>(pg),
              static_cast<unsigned long long>(through));
-    s3_->Put(key, std::move(blob), [](Status) {});
+    // Completion on this node's own loop: S3 is shared across shards.
+    s3_->Put(key, std::move(blob), [](Status) {}, loop_);
     seg->MarkBackedUp(through);
     ++stats_.backup_objects;
   }
@@ -592,9 +631,27 @@ void StorageNode::HandleSegmentStateResp(const sim::Message& msg) {
     if (gen != generation_ || crashed_ || !s.ok()) return;
     auto seg = std::make_unique<Segment>(resp.pg, Page::kMinPageSize);
     if (!seg->DeserializeFrom(resp.state).ok()) return;
+    // Replacing local state is only safe when the copy is a superset of
+    // everything this replica ever held (and thus ever acknowledged): its
+    // complete prefix must cover our whole log, and its epoch must not
+    // regress the fence. Repair installs onto empty replacements trivially
+    // pass; a stale gossip state transfer is dropped and retried.
+    auto existing = segments_.find(resp.pg);
+    if (existing != segments_.end() &&
+        (seg->scl() < existing->second->max_lsn() ||
+         seg->epoch() < existing->second->epoch())) {
+      return;
+    }
     seg->set_page_cache_budget(options_.page_cache_budget_bytes);
     segments_[resp.pg] = std::move(seg);
-    if (segment_installed_cb_) segment_installed_cb_(resp.pg);
+    if (segment_installed_cb_) {
+      // The callback belongs to the repair manager, which is homed on the
+      // control shard — run it at the next barrier, quiesced.
+      loop_->PostControl(0, [this, gen, pg = resp.pg] {
+        if (gen != generation_ || crashed_) return;
+        if (segment_installed_cb_) segment_installed_cb_(pg);
+      });
+    }
   });
 }
 

@@ -50,6 +50,9 @@ struct StorageNodeStats {
   uint64_t gossip_rounds = 0;
   uint64_t gossip_records_sent = 0;
   uint64_t gossip_records_filled = 0;
+  /// Full segment-state copies shipped because GC had already collected the
+  /// records a straggling peer needed (gossip's state-transfer backstop).
+  uint64_t gossip_state_transfers = 0;
   uint64_t records_coalesced = 0;
   uint64_t records_gced = 0;
   uint64_t scrub_rounds = 0;
@@ -87,10 +90,14 @@ class StorageNode {
 
   sim::NodeId id() const { return id_; }
 
-  /// Instantiates an (empty) segment replica for `pg`. Called by the
-  /// control plane at PG creation and by the repair manager on a
-  /// replacement host.
+  /// Instantiates an (empty) segment replica for `pg`. Called lazily on
+  /// first contact (EnsureSegment) and by tests that prefabricate state.
   void CreateSegment(PgId pg, size_t page_size);
+  /// Lazy materialization: returns the hosted segment for `pg`, creating it
+  /// (empty, at the volume's page size) iff this host is a member per the
+  /// control plane. Null when not a member — stray traffic after a
+  /// membership change must not resurrect a dropped replica.
+  Segment* EnsureSegment(PgId pg);
   /// Installs the control plane's page synthesizer on all hosted segments.
   void InstallSynthesizerOnSegments(const Segment::PageSynthesizer& fn);
   void DropSegment(PgId pg);

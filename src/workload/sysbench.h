@@ -3,8 +3,10 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "harness/client_api.h"
 #include "harness/synthetic_table.h"
@@ -68,6 +70,27 @@ class SysbenchDriver {
 
   const WorkloadResults& results() const { return results_; }
 
+  /// Enables interval-windowed metrics: during the measured window the
+  /// driver snapshots `registry` every `interval` of sim-time and stores
+  /// the Diff against the previous snapshot, so counters become
+  /// per-interval deltas (a time series for the bench JSON). Call before
+  /// Run(); `registry` must outlive the run.
+  ///
+  /// `timer_loop` is where the snapshot timers run; for a sharded cluster
+  /// pass the loop's control shard (snapshots must observe a consistent
+  /// global cut, which a shard-local event cannot guarantee under
+  /// multi-worker execution — control events run at window barriers with
+  /// every shard quiesced). nullptr = the driver's own loop (single-shard
+  /// runs).
+  void EnableIntervalMetrics(const MetricsRegistry* registry,
+                             SimDuration interval,
+                             sim::EventLoop* timer_loop = nullptr);
+  /// Per-interval windows, oldest first; the final window covers whatever
+  /// partial interval remained when measurement stopped.
+  const std::vector<MetricsSnapshot>& metric_windows() const {
+    return metric_windows_;
+  }
+
  private:
   struct Connection {
     Random rng;
@@ -81,6 +104,8 @@ class SysbenchDriver {
   void FinishTxn(int conn, TxnId txn, SimTime started, bool failed);
   uint64_t PickRow(Connection* c);
   void MaybeFinish();
+  void MetricsTick();
+  sim::EventLoop* TimerLoop();
 
   sim::EventLoop* loop_;
   ClientApi* client_;
@@ -94,6 +119,12 @@ class SysbenchDriver {
   int in_flight_ = 0;
   SimTime measure_start_ = 0;
   std::function<void()> done_;
+  const MetricsRegistry* metrics_registry_ = nullptr;
+  SimDuration metrics_interval_ = 0;
+  sim::EventLoop* metrics_loop_ = nullptr;
+  bool windows_active_ = false;
+  MetricsSnapshot metrics_base_;
+  std::vector<MetricsSnapshot> metric_windows_;
 };
 
 }  // namespace aurora

@@ -158,6 +158,56 @@ TEST_P(BTreeTest, DeleteThenReinsert) {
   ASSERT_TRUE(tree_->CheckInvariants().ok());
 }
 
+TEST_P(BTreeTest, EmptiedLeavesAreUnlinkedAndFreed) {
+  // Deleting a contiguous range empties whole leaves; they must leave the
+  // leaf chain (scans cross the gap) and land on the provider's free-list.
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) ASSERT_TRUE(Insert(Key(i), "v").ok());
+  const size_t before = provider_.num_pages();
+  for (int i = 200; i < 800; ++i) ASSERT_TRUE(Delete(Key(i)).ok());
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+  auto count = tree_->CountForTesting();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 400u);
+  EXPECT_GT(provider_.num_free(), 0u);
+
+  // Scan across the deleted gap.
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(tree_->Scan(Key(150), 100, &out).ok());
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(out[i].first, Key(150 + i));
+  for (int i = 50; i < 100; ++i) EXPECT_EQ(out[i].first, Key(800 + i - 50));
+
+  // Refilling the range draws from the free-list, not the high-water mark.
+  for (int i = 200; i < 800; ++i) ASSERT_TRUE(Insert(Key(i), "v").ok());
+  ASSERT_TRUE(tree_->CheckInvariants().ok());
+  EXPECT_LE(provider_.num_pages(), before);
+}
+
+TEST_P(BTreeTest, ChurnReachesSteadyStatePageCount) {
+  // The DESIGN.md §5 regression: before empty-leaf unlinking, every
+  // fill/drain cycle grew the page space monotonically. With the free-list
+  // the footprint must plateau at the first cycle's peak.
+  const int n = 600;
+  size_t peak = 0;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(Insert(Key(i), "value-" + std::to_string(i)).ok());
+    }
+    for (int i = 0; i < n; ++i) ASSERT_TRUE(Delete(Key(i)).ok());
+    ASSERT_TRUE(tree_->CheckInvariants().ok());
+    auto count = tree_->CountForTesting();
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, 0u);
+    if (cycle == 0) {
+      peak = provider_.num_pages();
+    } else {
+      EXPECT_LE(provider_.num_pages(), peak) << "cycle " << cycle;
+    }
+  }
+  EXPECT_GT(provider_.num_free(), 0u);
+}
+
 TEST_P(BTreeTest, UpsertInsertsOrUpdates) {
   MiniTransaction m1(1);
   ASSERT_TRUE(tree_->Upsert("k", "v1", &m1).ok());

@@ -26,10 +26,18 @@ class MemoryPageProvider : public PageProvider {
 
   Result<Page*> AllocatePage(PageType type, uint8_t level,
                              MiniTransaction* mtr) override {
-    PageId id = next_id_++;
-    auto page = std::make_unique<Page>(page_size_);
-    Page* raw = page.get();
-    pages_[id] = std::move(page);
+    PageId id;
+    Page* raw;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+      raw = pages_.at(id).get();
+    } else {
+      id = next_id_++;
+      auto page = std::make_unique<Page>(page_size_);
+      raw = page.get();
+      pages_[id] = std::move(page);
+    }
     LogRecord rec;
     rec.page_id = id;
     rec.op = RedoOp::kFormatPage;
@@ -40,10 +48,23 @@ class MemoryPageProvider : public PageProvider {
     return raw;
   }
 
+  Status FreePage(Page* page, MiniTransaction* mtr) override {
+    LogRecord rec;
+    rec.page_id = page->page_id();
+    rec.op = RedoOp::kFormatPage;
+    rec.payload = LogRecord::MakeFormatPayload(
+        static_cast<uint8_t>(PageType::kFree), 0);
+    Status s = mtr->Apply(page, std::move(rec));
+    if (!s.ok()) return s;
+    free_.push_back(page->page_id());
+    return Status::OK();
+  }
+
   PageId last_miss() const override { return kInvalidPage; }
   size_t page_size() const override { return page_size_; }
 
   size_t num_pages() const { return pages_.size(); }
+  size_t num_free() const { return free_.size(); }
   const std::map<PageId, std::unique_ptr<Page>>& pages() const {
     return pages_;
   }
@@ -52,6 +73,7 @@ class MemoryPageProvider : public PageProvider {
   size_t page_size_;
   PageId next_id_ = 1;
   std::map<PageId, std::unique_ptr<Page>> pages_;
+  std::vector<PageId> free_;
 };
 
 /// A WalSink that assigns LSNs locally (unit tests for the btree layer).
