@@ -87,12 +87,12 @@ int main() {
   cluster.failure_injector()->CrashNode(victim, 0);
   cluster.RunUntil(
       [&] {
-        return cluster.repair_manager()->stats().repairs_completed > 0;
+        return cluster.repair_manager()->stats().completed > 0;
       },
       Minutes(5));
   printf("== repairs completed: %llu (first took %.2f s)\n",
          static_cast<unsigned long long>(
-             cluster.repair_manager()->stats().repairs_completed),
+             cluster.repair_manager()->stats().completed),
          cluster.repair_manager()->repair_durations().empty()
              ? 0.0
              : ToSeconds(cluster.repair_manager()->repair_durations()[0]));

@@ -32,6 +32,8 @@ const char* CodeName(Status::Code code) {
       return "Stale";
     case Status::Code::kFenced:
       return "Fenced";
+    case Status::Code::kStaleConfig:
+      return "StaleConfig";
   }
   return "Unknown";
 }

@@ -27,6 +27,7 @@ class Status {
     kOutOfRange = 10,
     kStale = 11,          // stale epoch / superseded request
     kFenced = 12,         // writer fenced out by a newer volume epoch
+    kStaleConfig = 13,    // sender's PG membership config epoch is stale
   };
 
   Status() = default;
@@ -73,6 +74,9 @@ class Status {
   static Status Fenced(std::string_view msg = "") {
     return Status(Code::kFenced, msg);
   }
+  static Status StaleConfig(std::string_view msg = "") {
+    return Status(Code::kStaleConfig, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -87,6 +91,7 @@ class Status {
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsStale() const { return code_ == Code::kStale; }
   bool IsFenced() const { return code_ == Code::kFenced; }
+  bool IsStaleConfig() const { return code_ == Code::kStaleConfig; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

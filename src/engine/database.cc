@@ -257,6 +257,7 @@ void Database::Crash() {
   pending_batches_.clear();
   outstanding_.clear();
   replica_scl_.clear();
+  pg_config_.clear();
   page_waiters_.clear();
   fetch_in_flight_.clear();
   pending_reads_.clear();
@@ -323,6 +324,35 @@ void Database::EnsurePgExists(PgId pg) {
   }
 }
 
+const Database::CachedConfig& Database::PgConfig(PgId pg) {
+  auto it = pg_config_.find(pg);
+  if (it == pg_config_.end()) {
+    const PgMembership& members = control_plane_->membership(pg);
+    it = pg_config_
+             .emplace(pg, CachedConfig{members.nodes, members.config_epoch})
+             .first;
+  }
+  return it->second;
+}
+
+void Database::RefreshPgConfig(PgId pg) {
+  const PgMembership& members = control_plane_->membership(pg);
+  auto it = pg_config_.find(pg);
+  if (it == pg_config_.end()) {
+    pg_config_.emplace(pg, CachedConfig{members.nodes, members.config_epoch});
+    return;
+  }
+  // Forget ack-derived SCL watermarks for slots whose host changed: the old
+  // host's progress says nothing about its replacement.
+  for (int i = 0; i < kReplicasPerPg; ++i) {
+    if (it->second.nodes[i] != members.nodes[i]) {
+      replica_scl_.erase({pg, static_cast<ReplicaIdx>(i)});
+    }
+  }
+  it->second.nodes = members.nodes;
+  it->second.config_epoch = members.config_epoch;
+}
+
 void Database::AppendToBatch(const LogRecord& record) {
   PgId pg = PgOf(record.page_id);
   PendingBatch& batch = pending_batches_[pg];
@@ -367,7 +397,7 @@ void Database::FlushBatch(PgId pg) {
 
 void Database::SendBatch(OutstandingBatch* batch) {
   if (fenced_) return;
-  const PgMembership& members = control_plane_->membership(batch->pg);
+  const CachedConfig& cfg = PgConfig(batch->pg);
   const Lsn pgmrpl = ComputePgmrpl();
   // Single-encode fan-out: the body (epoch, seq, hints, record blob) is
   // identical for all replicas, so serialize it once and share the buffer
@@ -379,8 +409,8 @@ void Database::SendBatch(OutstandingBatch* batch) {
     if (batch->tracker.has_ack_from(idx)) continue;
     if (!body) {
       auto encoded = std::make_shared<std::string>();
-      WriteBatchMsg::EncodeBody(volume_epoch_, batch->seq, vdl_, pgmrpl,
-                                batch->records, encoded.get());
+      WriteBatchMsg::EncodeBody(volume_epoch_, cfg.config_epoch, batch->seq,
+                                vdl_, pgmrpl, batch->records, encoded.get());
       body = std::move(encoded);
     }
     WriteBatchMsg header_msg;
@@ -388,7 +418,7 @@ void Database::SendBatch(OutstandingBatch* batch) {
     header_msg.replica = static_cast<ReplicaIdx>(idx);
     std::string header;
     header_msg.EncodeHeaderTo(&header);
-    network_->Send(node_id_, members.nodes[idx], kMsgWriteBatch,
+    network_->Send(node_id_, cfg.nodes[idx], kMsgWriteBatch,
                    std::move(header), body);
     ++sends;
   }
@@ -413,15 +443,33 @@ void Database::SendBatch(OutstandingBatch* batch) {
 void Database::HandleWriteAck(const sim::Message& msg) {
   WriteAckMsg ack;
   if (!WriteAckMsg::DecodeFrom(msg.payload(), &ack).ok()) return;
-  const PgMembership& members = control_plane_->membership(ack.pg);
-  if (ack.replica >= kReplicasPerPg ||
-      members.nodes[ack.replica] != msg.from) {
+  // Guard against our *cached* view, not the control plane: a kStaleConfig
+  // NAK arrives precisely from hosts our stale cache still believes in.
+  const CachedConfig& cfg = PgConfig(ack.pg);
+  if (ack.replica >= kReplicasPerPg || cfg.nodes[ack.replica] != msg.from) {
     return;  // ack from a replaced (stale) replica
   }
   if (ack.status_code == static_cast<uint8_t>(Status::Code::kFenced)) {
     // Storage has seen a newer volume epoch: a replica was promoted while
     // this writer was partitioned. Demote instead of retrying forever.
     BecomeFenced(ack.epoch);
+    return;
+  }
+  if (ack.status_code == static_cast<uint8_t>(Status::Code::kStaleConfig)) {
+    // The PG's membership moved (a repair or migration completed) and this
+    // writer's cached member list is behind: refresh from the control plane
+    // and resend the batch to the new member set immediately. Every live
+    // member NAKs the same stale batch, so only the first NAK per epoch
+    // bump (the one our cache is actually behind) triggers the resend.
+    if (ack.cfg_epoch > cfg.config_epoch) {
+      ++stats_.stale_config_refreshes;
+      RefreshPgConfig(ack.pg);
+      auto sit = outstanding_.find(ack.batch_seq);
+      if (sit != outstanding_.end()) {
+        loop_->Cancel(sit->second->retry_event);
+        SendBatch(sit->second.get());
+      }
+    }
     return;
   }
   Lsn& known = replica_scl_[{ack.pg, ack.replica}];
@@ -657,7 +705,7 @@ void Database::StartPageFetch(PageId id) {
 
 sim::NodeId Database::PickReadReplicaNode(PgId pg, Lsn read_point,
                                           int attempt) {
-  const PgMembership& members = control_plane_->membership(pg);
+  const CachedConfig& members = PgConfig(pg);
   const sim::Topology* topo = control_plane_->topology();
   // Replicas known (from acks) to be complete at the read point, same-AZ
   // first — the writer can route reads to a single up-to-date segment
@@ -692,6 +740,7 @@ void Database::IssuePageRead(uint64_t req_id) {
   req.page = pr.page;
   req.read_point = pr.read_point;
   req.epoch = volume_epoch_;
+  req.cfg_epoch = PgConfig(pr.pg).config_epoch;
   std::string payload;
   req.EncodeTo(&payload);
   network_->Send(node_id_, target, kMsgReadPageReq, std::move(payload));
@@ -718,6 +767,16 @@ void Database::HandleReadPageResp(const sim::Message& msg) {
 
   if (resp.status_code == static_cast<uint8_t>(Status::Code::kFenced)) {
     BecomeFenced(0);  // the segment outran our epoch; exact value unknown
+    return;
+  }
+  if (resp.status_code == static_cast<uint8_t>(Status::Code::kStaleConfig)) {
+    // Not a demotion — our membership cache is behind. Refresh and retry
+    // against the current member set.
+    ++stats_.stale_config_refreshes;
+    RefreshPgConfig(pr.pg);
+    ++pr.replica_tried;
+    ++stats_.read_retries;
+    IssuePageRead(resp.req_id);
     return;
   }
   if (resp.status_code != static_cast<uint8_t>(Status::Code::kOk)) {

@@ -51,6 +51,10 @@ struct EngineStats {
   /// Storage rejections carrying a newer volume epoch (this writer has been
   /// superseded); the first one demotes the writer (see fenced()).
   uint64_t fenced_rejections = 0;
+  /// Membership-config refreshes forced by kStaleConfig NAKs from storage
+  /// (a repair/migration moved a replica while this writer held the old
+  /// member list). Each one re-reads the control plane and resends.
+  uint64_t stale_config_refreshes = 0;
   /// Frames that failed the fabric checksum at this node and were dropped.
   uint64_t corrupt_frames_dropped = 0;
   /// Bytes NOT re-serialized thanks to single-encode fan-out: the shared
@@ -305,6 +309,17 @@ class Database : public WalSink, public PageProvider {
     return static_cast<PgId>(page / options_.pages_per_pg);
   }
   void EnsurePgExists(PgId pg);
+  /// The writer's *cached* view of a PG's membership. Data-path sends use
+  /// this cache (stamped with its config_epoch) rather than reading the
+  /// control plane each time: storage NAKs a stale epoch with kStaleConfig,
+  /// which is what forces RefreshPgConfig — the end-to-end membership-epoch
+  /// protocol of DESIGN.md §12.
+  struct CachedConfig {
+    std::array<sim::NodeId, kReplicasPerPg> nodes;
+    uint64_t config_epoch = 0;
+  };
+  const CachedConfig& PgConfig(PgId pg);
+  void RefreshPgConfig(PgId pg);
   void AppendToBatch(const LogRecord& record);
   void FlushBatch(PgId pg);
   void SendBatch(OutstandingBatch* batch);
@@ -417,6 +432,8 @@ class Database : public WalSink, public PageProvider {
   std::map<uint64_t, std::unique_ptr<OutstandingBatch>> outstanding_;
   /// Known SCL per (pg, replica) from acks — read routing.
   std::map<std::pair<PgId, ReplicaIdx>, Lsn> replica_scl_;
+  /// Cached membership per PG (see PgConfig).
+  std::map<PgId, CachedConfig> pg_config_;
 
   // Read pipeline.
   std::map<PageId, std::vector<PageWaiter>> page_waiters_;

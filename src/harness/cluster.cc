@@ -107,6 +107,7 @@ void AuroraCluster::RegisterAllMetrics() {
         {"read_retries", &EngineStats::read_retries},
         {"batch_encode_bytes_saved", &EngineStats::batch_encode_bytes_saved},
         {"fenced_rejections", &EngineStats::fenced_rejections},
+        {"stale_config_refreshes", &EngineStats::stale_config_refreshes},
         {"corrupt_frames_dropped", &EngineStats::corrupt_frames_dropped},
         {"pages_freed", &EngineStats::pages_freed},
         {"pages_reused", &EngineStats::pages_reused},
@@ -220,9 +221,15 @@ void AuroraCluster::RegisterAllMetrics() {
     m->RegisterCounter(base + "records_coalesced", &s->records_coalesced);
     m->RegisterCounter(base + "records_gced", &s->records_gced);
     m->RegisterCounter(base + "scrub_rounds", &s->scrub_rounds);
+    m->RegisterCounter(base + "pages_scrubbed", &s->pages_scrubbed);
     m->RegisterCounter(base + "corrupt_pages_found", &s->corrupt_pages_found);
     m->RegisterCounter(base + "corrupt_pages_repaired",
                        &s->corrupt_pages_repaired);
+    m->RegisterCounter(base + "read_repairs", &s->read_repairs);
+    m->RegisterCounter(base + "stale_config_rejects",
+                       &s->stale_config_rejects);
+    m->RegisterCounter(base + "torn_write_drops", &s->torn_write_drops);
+    m->RegisterCounter(base + "latent_corruptions", &s->latent_corruptions);
     m->RegisterCounter(base + "backup_objects", &s->backup_objects);
     m->RegisterCounter(base + "background_deferrals",
                        &s->background_deferrals);
@@ -294,11 +301,45 @@ void AuroraCluster::RegisterAllMetrics() {
     m->RegisterCounter("storage.stale_epoch_rejects", [sum] {
       return sum(&StorageNodeStats::stale_epoch_rejects);
     });
+    m->RegisterCounter("storage.stale_config_rejects", [sum] {
+      return sum(&StorageNodeStats::stale_config_rejects);
+    });
     m->RegisterCounter("storage.duplicate_batches", [sum] {
       return sum(&StorageNodeStats::duplicate_batches);
     });
     m->RegisterCounter("storage.corrupt_frames_dropped", [sum] {
       return sum(&StorageNodeStats::corrupt_frames_dropped);
+    });
+    // Scrubber / disk-fault posture (§2.2's "continuously verify ... CRCs").
+    m->RegisterCounter("storage.scrub.rounds", [sum] {
+      return sum(&StorageNodeStats::scrub_rounds);
+    });
+    m->RegisterCounter("storage.scrub.pages_scrubbed", [sum] {
+      return sum(&StorageNodeStats::pages_scrubbed);
+    });
+    m->RegisterCounter("storage.scrub.corrupt_pages_found", [sum] {
+      return sum(&StorageNodeStats::corrupt_pages_found);
+    });
+    m->RegisterCounter("storage.scrub.corrupt_pages_repaired", [sum] {
+      return sum(&StorageNodeStats::corrupt_pages_repaired);
+    });
+    m->RegisterCounter("storage.scrub.read_repairs", [sum] {
+      return sum(&StorageNodeStats::read_repairs);
+    });
+    m->RegisterCounter("storage.scrub.latent_corruptions", [sum] {
+      return sum(&StorageNodeStats::latent_corruptions);
+    });
+    m->RegisterCounter("storage.scrub.torn_write_drops", [sum] {
+      return sum(&StorageNodeStats::torn_write_drops);
+    });
+    m->RegisterCounter("storage.repair_chunk_crc_drops", [sum] {
+      return sum(&StorageNodeStats::repair_chunk_crc_drops);
+    });
+    m->RegisterCounter("storage.repair_sessions_started", [sum] {
+      return sum(&StorageNodeStats::repair_sessions_started);
+    });
+    m->RegisterCounter("storage.evicted_segments_dropped", [sum] {
+      return sum(&StorageNodeStats::evicted_segments_dropped);
     });
   }
 
@@ -351,12 +392,32 @@ void AuroraCluster::RegisterAllMetrics() {
                      &chaos_counters_.actions_executed);
 
   // --- Repair, S3, event loop ---------------------------------------------
-  m->RegisterCounter("repair.repairs_started",
-                     [this] { return repair_->stats().repairs_started; });
-  m->RegisterCounter("repair.repairs_completed",
-                     [this] { return repair_->stats().repairs_completed; });
+  m->RegisterCounter("repair.started",
+                     [this] { return repair_->stats().started; });
+  m->RegisterCounter("repair.completed",
+                     [this] { return repair_->stats().completed; });
+  m->RegisterCounter("repair.failed",
+                     [this] { return repair_->stats().failed; });
+  m->RegisterCounter("repair.chunk_retries",
+                     [this] { return repair_->stats().chunk_retries; });
+  m->RegisterCounter("repair.donor_failovers",
+                     [this] { return repair_->stats().donor_failovers; });
+  m->RegisterCounter("repair.bytes_copied",
+                     [this] { return repair_->stats().bytes_copied; });
+  m->RegisterCounter("repair.concurrent_peak",
+                     [this] { return repair_->stats().concurrent_peak; });
+  m->RegisterCounter("repair.queued",
+                     [this] { return repair_->stats().queued; });
+  m->RegisterCounter("repair.no_replacement",
+                     [this] { return repair_->stats().no_replacement; });
+  m->RegisterCounter("repair.no_donor",
+                     [this] { return repair_->stats().no_donor; });
+  m->RegisterCounter("repair.transfer_restarts",
+                     [this] { return repair_->stats().transfer_restarts; });
   m->RegisterCounter("repair.migrations",
                      [this] { return repair_->stats().migrations; });
+  m->RegisterHistogram("repair.mttr_us",
+                       [this] { return repair_->mttr_histogram(); });
   m->RegisterCounter("s3.objects", [this] { return s3_->num_objects(); });
   m->RegisterCounter("s3.bytes_stored", [this] { return s3_->bytes_stored(); });
   m->RegisterCounter("s3.puts", [this] { return s3_->puts(); });

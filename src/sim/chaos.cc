@@ -145,6 +145,94 @@ void InvariantChecker::CheckNow() {
       base.epoch = seg->epoch();
     }
   }
+
+  // (7) Membership-change audit: every configuration the control plane ever
+  // installed, checked incrementally as history grows.
+  const std::vector<ControlPlane::ConfigRecord> history = cp->ConfigHistory();
+  for (size_t i = config_audit_pos_; i < history.size(); ++i) {
+    const ControlPlane::ConfigRecord& rec = history[i];
+    const std::string where =
+        "pg " + std::to_string(rec.pg) + " config epoch " +
+        std::to_string(rec.config_epoch);
+    for (int a = 0; a < kReplicasPerPg; ++a) {
+      for (int b = a + 1; b < kReplicasPerPg; ++b) {
+        if (rec.nodes[a] == rec.nodes[b]) {
+          Violation(where + ": host " + std::to_string(rec.nodes[a]) +
+                    " holds two replica slots");
+        }
+      }
+    }
+    auto it = last_config_.find(rec.pg);
+    if (it != last_config_.end()) {
+      if (rec.config_epoch <= it->second.epoch) {
+        Violation(where + ": epoch did not advance past " +
+                  std::to_string(it->second.epoch));
+      }
+      int changed = 0;
+      for (int s = 0; s < kReplicasPerPg; ++s) {
+        if (rec.nodes[s] != it->second.nodes[s]) ++changed;
+      }
+      if (changed > 1) {
+        Violation(where + ": " + std::to_string(changed) +
+                  " slots changed in one epoch step (quorum intersection "
+                  "requires at most one)");
+      }
+    }
+    last_config_[rec.pg] = {rec.config_epoch, rec.nodes};
+  }
+  config_audit_pos_ = history.size();
+
+  // (8) Committed-durability floor under AZ+1: within the envelope (<= 3 of
+  // 6 current members down) the highest committed prefix ever seen on a
+  // member must stay reachable from the live members.
+  if (max_vdl_seen_ != kInvalidLsn) {
+    sim::Network* net = cluster_->network();
+    for (PgId pg = 0; pg < cp->num_pgs(); ++pg) {
+      const PgMembership& members = cp->membership(pg);
+      int down = 0;
+      std::vector<const Segment*> live;
+      for (sim::NodeId host : members.nodes) {
+        StorageNode* n = cp->node(host);
+        if (net->IsNodeDown(host) || n == nullptr || n->crashed()) {
+          ++down;
+          continue;
+        }
+        const Segment* seg = n->segment(pg);
+        if (seg != nullptr) live.push_back(seg);
+      }
+      Lsn& tail = committed_tail_[pg];
+      Lsn base = kInvalidLsn;
+      for (const Segment* seg : live) {
+        base = std::max(base, seg->scl());
+        tail = std::max(tail, std::min(seg->scl(), max_vdl_seen_));
+      }
+      if (tail == kInvalidLsn || down > 3) continue;  // beyond AZ+1
+      if (base != kInvalidLsn && base >= tail) continue;
+      // The best live SCL is behind the committed tail (its holder died).
+      // Every committed record above a live SCL was write-quorum acked, so
+      // with <= 3 members down at least one live member still holds it in
+      // its hot log (records are only GC'd below their holder's own SCL).
+      // Bridge upward through the union of live hot logs.
+      std::map<Lsn, Lsn> next;  // prev_pg_lsn -> lsn
+      for (const Segment* seg : live) {
+        for (const LogRecord* r : seg->RecordsAbove(base, SIZE_MAX)) {
+          next[r->prev_pg_lsn] = r->lsn;
+        }
+      }
+      Lsn cur = base;
+      while (cur < tail) {
+        auto bridge = next.find(cur);
+        if (bridge == next.end()) break;
+        cur = bridge->second;
+      }
+      if (cur < tail) {
+        Violation("pg " + std::to_string(pg) + ": committed tail " +
+                  std::to_string(tail) + " unreachable from live members (" +
+                  std::to_string(down) + "/6 down, best live coverage " +
+                  std::to_string(cur) + ")");
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -188,6 +276,18 @@ void ChaosEngine::FailAzAt(SimDuration delay, sim::AzId az,
                            SimDuration downtime) {
   At(delay, "fail az " + std::to_string(az),
      [this, az, downtime] { cluster_->failure_injector()->FailAz(az, downtime); });
+}
+
+void ChaosEngine::FailAzPlusOneAt(SimDuration delay, sim::AzId az,
+                                  size_t extra_index, SimDuration downtime) {
+  At(delay,
+     "fail az " + std::to_string(az) + " + storage #" +
+         std::to_string(extra_index),
+     [this, az, extra_index, downtime] {
+       cluster_->failure_injector()->FailAz(az, downtime);
+       cluster_->failure_injector()->CrashNode(
+           cluster_->storage_node(extra_index)->id(), downtime);
+     });
 }
 
 void ChaosEngine::SlowNodeAt(SimDuration delay, sim::NodeId node,

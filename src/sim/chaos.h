@@ -1,6 +1,7 @@
 #ifndef AURORA_SIM_CHAOS_H_
 #define AURORA_SIM_CHAOS_H_
 
+#include <array>
 #include <map>
 #include <string>
 #include <utility>
@@ -43,6 +44,18 @@ struct AdversaryConfig {
 ///     allocated (scl <= max over incarnations of max_allocated_lsn).
 ///  6. No segment's durability hint outruns the open writer's VDL
 ///     (vdl_hint <= writer vdl).
+///  7. Membership-change audit over the control plane's config history:
+///     per PG, config epochs are strictly increasing, every configuration
+///     names six distinct hosts, and consecutive configurations differ in at
+///     most one slot. Together with the repair protocol's install-before-
+///     flip rule (the incoming member's installed state is a superset of the
+///     donor's acked state), this is what keeps read/write quorums
+///     intersecting across every config epoch.
+///  8. No committed LSN is lost while a PG is within the AZ+1 envelope
+///     (<= 3 of its 6 current members down): the highest committed prefix
+///     ever observed on a member (min(scl, max VDL seen)) must stay
+///     reachable from the live members — either directly covered by a live
+///     SCL or bridgeable through the union of live hot logs.
 ///
 /// Violations are counted in the cluster's ChaosCounters (chaos.* metrics)
 /// and retained as human-readable strings for test assertions.
@@ -74,11 +87,23 @@ class InvariantChecker {
     Epoch epoch = 0;
   };
 
+  struct ConfigBaseline {
+    uint64_t epoch = 0;
+    std::array<sim::NodeId, kReplicasPerPg> nodes{};
+  };
+
   AuroraCluster* cluster_;
   SimDuration interval_;
   uint64_t checks_ = 0;
   Lsn max_vdl_seen_ = kInvalidLsn;
   std::map<std::pair<sim::NodeId, PgId>, SegmentBaseline> baselines_;
+  /// Invariant 7: how much of ConfigHistory() has been audited, and the
+  /// last configuration seen per PG.
+  size_t config_audit_pos_ = 0;
+  std::map<PgId, ConfigBaseline> last_config_;
+  /// Invariant 8: per-PG ratchet of the highest committed prefix ever
+  /// observed on any member.
+  std::map<PgId, Lsn> committed_tail_;
   std::vector<std::string> violations_;
   sim::EventId timer_ = 0;
   bool running_ = false;
@@ -113,6 +138,13 @@ class ChaosEngine {
   void At(SimDuration delay, std::string label, sim::EventFn action);
   void CrashStorageAt(SimDuration delay, size_t index, SimDuration downtime);
   void FailAzAt(SimDuration delay, sim::AzId az, SimDuration downtime);
+  /// The §2.2 design fault: a whole AZ plus one extra host (storage node
+  /// `extra_index`, which callers should pick outside `az`) go down
+  /// together. AZ+1 leaves every PG a 3/6 read quorum, so no committed data
+  /// may be lost (invariant 8) even though write availability is gone until
+  /// repair restores quorum.
+  void FailAzPlusOneAt(SimDuration delay, sim::AzId az, size_t extra_index,
+                       SimDuration downtime);
   void SlowNodeAt(SimDuration delay, sim::NodeId node, double factor,
                   SimDuration duration);
   /// Cuts `node` off from every other host in both directions.

@@ -37,8 +37,28 @@ void Disk::Submit(uint64_t bytes, SimDuration base_latency, bool is_write,
       static_cast<double>(base_latency) * jitter * slowdown_);
   SimTime complete_at = busy_until_ + latency;
 
-  loop_->ScheduleAt(complete_at, [this, done = std::move(done)]() {
-    done(failed_ ? Status::IOError("disk failed") : Status::OK());
+  // Fault draws are gated on the knobs being enabled so that fault-free
+  // configurations consume an identical RNG stream (determinism contract).
+  bool torn = false;
+  if (is_write && options_.torn_write_probability > 0 &&
+      rng_.Bernoulli(options_.torn_write_probability)) {
+    torn = true;
+    ++torn_writes_;
+  }
+  if (is_write && !torn && options_.latent_corruption_probability > 0 &&
+      rng_.Bernoulli(options_.latent_corruption_probability)) {
+    ++latent_faults_;
+    ++pending_latent_faults_;
+  }
+
+  loop_->ScheduleAt(complete_at, [this, torn, done = std::move(done)]() {
+    if (failed_) {
+      done(Status::IOError("disk failed"));
+    } else if (torn) {
+      done(Status::Corruption("torn write"));
+    } else {
+      done(Status::OK());
+    }
   });
 }
 

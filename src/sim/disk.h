@@ -25,6 +25,16 @@ struct DiskOptions {
   double bandwidth_bps = 500e6;
   /// Sigma of the log-normal latency jitter (tail behaviour).
   double jitter_sigma = 0.3;
+  /// Probability that a write completes torn: the op finishes with
+  /// Status::Corruption instead of OK, modelling a partial sector write the
+  /// device firmware detects. 0 disables (no RNG draw, so enabling the
+  /// fault never perturbs the seeded stream of fault-free runs).
+  double torn_write_probability = 0.0;
+  /// Probability that a write silently plants a latent sector fault: the op
+  /// reports OK but the device remembers one pending corruption, surfaced
+  /// to the owner via ConsumeLatentFault(). Models bit rot / latent sector
+  /// errors that only scrubbing or a read can catch (§2.2).
+  double latent_corruption_probability = 0.0;
 };
 
 /// Simulated SSD: a single-server FIFO queue whose service time is
@@ -64,10 +74,22 @@ class Disk {
   /// the hot-disk scenario of §2.3.
   void set_slowdown(double factor) { slowdown_ = factor < 1.0 ? 1.0 : factor; }
 
+  /// True once per latent fault planted by a write; the caller corrupts one
+  /// of its pages in response. Pulling the fault out of the device keeps
+  /// the disk byte-agnostic (it never sees page boundaries) while the owner
+  /// decides *which* page rots.
+  bool ConsumeLatentFault() {
+    if (pending_latent_faults_ == 0) return false;
+    --pending_latent_faults_;
+    return true;
+  }
+
   uint64_t writes() const { return writes_; }
   uint64_t reads() const { return reads_; }
   uint64_t bytes_written() const { return bytes_written_; }
   uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t torn_writes() const { return torn_writes_; }
+  uint64_t latent_faults() const { return latent_faults_; }
   /// Current queue depth estimate in simulated time.
   SimDuration backlog() const {
     return busy_until_ > loop_->now() ? busy_until_ - loop_->now() : 0;
@@ -89,6 +111,9 @@ class Disk {
   uint64_t reads_ = 0;
   uint64_t bytes_written_ = 0;
   uint64_t bytes_read_ = 0;
+  uint64_t torn_writes_ = 0;
+  uint64_t latent_faults_ = 0;
+  uint64_t pending_latent_faults_ = 0;
 };
 
 }  // namespace aurora::sim

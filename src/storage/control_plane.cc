@@ -36,6 +36,7 @@ PgId ControlPlane::CreatePg(size_t page_size) {
   members.page_size = page_size;
   PgId pg = next_pg_++;
   memberships_[pg] = members;
+  config_history_.push_back({pg, members.config_epoch, members.nodes});
   // No segments are instantiated here: each member host materializes its
   // replica lazily on first contact (StorageNode::EnsureSegment), so volume
   // growth never mutates state homed on another PDES shard.
@@ -65,6 +66,7 @@ void ControlPlane::ReplaceReplica(PgId pg, ReplicaIdx idx,
   AURORA_CHECK(it != memberships_.end(), "unknown PG in ReplaceReplica");
   it->second.nodes[idx] = replacement;
   ++it->second.config_epoch;
+  config_history_.push_back({pg, it->second.config_epoch, it->second.nodes});
 }
 
 void ControlPlane::SetPageSynthesizer(

@@ -82,6 +82,21 @@ class ControlPlane {
   /// bumps the PG's config epoch.
   void ReplaceReplica(PgId pg, ReplicaIdx idx, sim::NodeId replacement);
 
+  /// One entry of the durable membership-change log: the full configuration
+  /// of `pg` at `config_epoch`. Invariant 7 (quorum intersection across
+  /// config epochs) audits this history.
+  struct ConfigRecord {
+    PgId pg;
+    uint64_t config_epoch;
+    std::array<sim::NodeId, kReplicasPerPg> nodes;
+  };
+  /// Every configuration every PG has ever had, in the order they were
+  /// installed (CreatePg appends epoch 0, ReplaceReplica each bump).
+  std::vector<ConfigRecord> ConfigHistory() const {
+    MutexLock lock(&mu_);
+    return config_history_;
+  }
+
   /// All PGs that have `node` as a member (repair scans).
   std::vector<std::pair<PgId, ReplicaIdx>> ReplicasOnNode(
       sim::NodeId node) const;
@@ -124,6 +139,7 @@ class ControlPlane {
   /// peer choice, lazy segment materialization).
   mutable Mutex mu_;
   std::map<PgId, PgMembership> memberships_ GUARDED_BY(mu_);
+  std::vector<ConfigRecord> config_history_ GUARDED_BY(mu_);
   PgId next_pg_ GUARDED_BY(mu_) = 0;
   std::function<bool(PageId, class Page*)> synthesizer_;
   Epoch volume_epoch_ = 1;

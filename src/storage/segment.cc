@@ -163,6 +163,13 @@ Result<Page> Segment::GetPageAsOf(PageId page, Lsn read_point) const {
   Page result(page_size_);
   auto base_it = base_pages_.find(page);
   if (base_it != base_pages_.end()) {
+    // Verify the stored image before serving it: a latent sector fault
+    // planted between scrub rounds must surface as Corruption (triggering
+    // read-repair from a peer), never as a silently wrong page.
+    if (base_it->second.IsFormatted() && !base_it->second.VerifyCrc()) {
+      corrupt_pages_.insert(page);
+      return Status::Corruption("base page CRC mismatch");
+    }
     result = base_it->second;
   } else if (synthesizer_) {
     synthesizer_(page, &result);
@@ -347,6 +354,16 @@ void Segment::CorruptBasePageForTesting(PageId page) {
   // Keep reads faithful to the (now corrupt) base image so scrub/repair
   // tests observe the corruption rather than a cached clean copy.
   CacheErase(page);
+}
+
+bool Segment::CorruptNthBasePage(uint64_t nth) {
+  if (base_pages_.empty()) return false;
+  auto it = base_pages_.begin();
+  std::advance(it, nth % base_pages_.size());
+  if (!it->second.IsFormatted()) return false;
+  it->second.CorruptForTesting(100);
+  CacheErase(it->first);
+  return true;
 }
 
 std::vector<const LogRecord*> Segment::UnbackedRecords(size_t max) const {

@@ -176,6 +176,10 @@ class Segment {
   void RestoreBasePage(PageId page, Page healthy);
   /// Testing hook: flips a bit in a materialized base page.
   void CorruptBasePageForTesting(PageId page);
+  /// Latent-fault hook for sim::Disk: flips a bit in the nth (mod count)
+  /// materialized base page, as if a sector under it rotted. Returns false
+  /// if there is no formatted base page to corrupt.
+  bool CorruptNthBasePage(uint64_t nth);
 
   // --- Backup --------------------------------------------------------------
   /// Records with LSN in (backup_lsn, scl] not yet staged to S3. Views into
@@ -249,7 +253,9 @@ class Segment {
   Lsn snapshot_tail_ = kInvalidLsn;
   Epoch epoch_ = 0;
 
-  std::set<PageId> corrupt_pages_;
+  /// Mutable because the read path (GetPageAsOf, logically const) records a
+  /// CRC mismatch it discovers so the scrub/repair machinery can heal it.
+  mutable std::set<PageId> corrupt_pages_;
 
   uint64_t cache_budget_bytes_ = 0;  // 0 = cache disabled
   mutable std::map<PageId, CacheEntry> page_cache_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/crc32c.h"
 #include "common/logging.h"
 
 namespace aurora {
@@ -62,6 +63,12 @@ void StorageNode::Crash() {
   crashed_ = true;
   ++generation_;
   applied_batches_.clear();
+  // Chunked-repair state is volatile on both sides: a target's reassembly
+  // buffer is only durable once the final persist installs the segment, and
+  // a donor's snapshot cache is rebuilt on the next request.
+  repair_sessions_.clear();
+  donor_snapshots_.clear();
+  donor_snapshot_order_.clear();
   // Cancel the background timers outright (same pattern as
   // Database::Crash()): the generation guard already neutralizes them, but
   // leaving them queued grows the event loop's pending set on every
@@ -180,6 +187,12 @@ void StorageNode::HandleMessage(const sim::Message& msg) {
     case kMsgSegmentStateResp:
       HandleSegmentStateResp(msg);
       break;
+    case kMsgSegmentChunkReq:
+      HandleSegmentChunkReq(msg);
+      break;
+    case kMsgSegmentChunkResp:
+      HandleSegmentChunkResp(msg);
+      break;
     default:
       AURORA_WARN("storage node %u: unexpected message type %u", id_,
                   msg.type);
@@ -196,6 +209,27 @@ void StorageNode::HandleWriteBatch(const sim::Message& msg) {
   Segment* seg = EnsureSegment(batch.pg);
   if (seg == nullptr) return;  // not a member (anymore)
   ++stats_.batches_received;
+  const PgMembership& members = control_plane_->membership(batch.pg);
+
+  // Membership fence: a batch stamped with an older config epoch comes from
+  // a sender that missed a ReplaceReplica — and this host may be the very
+  // replica that was evicted. Either way the sender must not count this ack
+  // toward quorum; NAK with the current config epoch so it refreshes.
+  if (members.IndexOf(id_) < 0 || batch.cfg_epoch < members.config_epoch) {
+    ++stats_.stale_config_rejects;
+    WriteAckMsg nak;
+    nak.pg = batch.pg;
+    nak.replica = batch.replica;
+    nak.batch_seq = batch.batch_seq;
+    nak.scl = seg->scl();
+    nak.status_code = static_cast<uint8_t>(Status::Code::kStaleConfig);
+    nak.epoch = seg->epoch();
+    nak.cfg_epoch = members.config_epoch;
+    std::string payload;
+    nak.EncodeTo(&payload);
+    network_->Send(id_, msg.from, kMsgWriteAck, std::move(payload));
+    return;
+  }
 
   // Epoch fence: a batch stamped with an older volume epoch comes from a
   // writer that was superseded by a failover. Reject without applying and
@@ -209,6 +243,7 @@ void StorageNode::HandleWriteBatch(const sim::Message& msg) {
     nak.scl = seg->scl();
     nak.status_code = static_cast<uint8_t>(Status::Code::kFenced);
     nak.epoch = seg->epoch();
+    nak.cfg_epoch = members.config_epoch;
     std::string payload;
     nak.EncodeTo(&payload);
     network_->Send(id_, msg.from, kMsgWriteAck, std::move(payload));
@@ -228,6 +263,7 @@ void StorageNode::HandleWriteBatch(const sim::Message& msg) {
     ack.batch_seq = batch.batch_seq;
     ack.scl = seg->scl();
     ack.epoch = seg->epoch();
+    ack.cfg_epoch = members.config_epoch;
     std::string payload;
     ack.EncodeTo(&payload);
     network_->Send(id_, msg.from, kMsgWriteAck, std::move(payload));
@@ -245,7 +281,13 @@ void StorageNode::HandleWriteBatch(const sim::Message& msg) {
   const uint64_t bytes = msg.payload_size();
   disk_.Write(bytes, [this, gen, batch = std::move(batch),
                       from = msg.from](Status s) mutable {
-    if (gen != generation_ || crashed_ || !s.ok()) return;
+    if (gen != generation_ || crashed_) return;
+    if (!s.ok()) {
+      // A torn write means the batch never became durable; dropping the ack
+      // makes the sender retry, exactly as for a lost frame.
+      if (s.IsCorruption()) ++stats_.torn_write_drops;
+      return;
+    }
     Segment* seg = segment(batch.pg);
     if (seg == nullptr) return;
     seg->ObserveEpoch(batch.epoch);
@@ -253,6 +295,14 @@ void StorageNode::HandleWriteBatch(const sim::Message& msg) {
     seg->SetPgmrpl(batch.pgmrpl_hint);
     for (const LogRecord& r : batch.records) {
       seg->AddRecord(r);
+    }
+    // The device may have planted a latent sector fault under this write;
+    // rot a materialized base page in response (the scrubber or a CRC-
+    // verified read will catch it later). The RNG draw is gated on the
+    // fault actually firing, so fault-free runs stay byte-identical.
+    if (seg->num_pages() > 0 && disk_.ConsumeLatentFault()) {
+      ++stats_.latent_corruptions;
+      seg->CorruptNthBasePage(rng_.Uniform(seg->num_pages()));
     }
     // Mark the batch applied only now that it is persisted and integrated;
     // bound the per-PG memory by pruning the oldest seqs.
@@ -265,6 +315,7 @@ void StorageNode::HandleWriteBatch(const sim::Message& msg) {
     ack.batch_seq = batch.batch_seq;
     ack.scl = seg->scl();
     ack.epoch = seg->epoch();
+    ack.cfg_epoch = control_plane_->membership(batch.pg).config_epoch;
     std::string payload;
     ack.EncodeTo(&payload);
     network_->Send(id_, from, kMsgWriteAck, std::move(payload));
@@ -295,6 +346,15 @@ void StorageNode::HandleReadPage(const sim::Message& msg) {
       resp.status_code = static_cast<uint8_t>(Status::Code::kFenced);
       ++stats_.stale_epoch_rejects;
       ++stats_.page_read_errors;
+    } else if (req.cfg_epoch != 0 &&
+               req.cfg_epoch <
+                   control_plane_->membership(req.pg).config_epoch) {
+      // Membership fence: the reader routed here off a membership it missed
+      // an update to — this host may already be evicted. NAK so it
+      // refreshes instead of trusting a possibly-stale replica.
+      resp.status_code = static_cast<uint8_t>(Status::Code::kStaleConfig);
+      ++stats_.stale_config_rejects;
+      ++stats_.page_read_errors;
     } else {
       Result<Page> page = seg->GetPageAsOf(req.page, req.read_point);
       if (page.ok()) {
@@ -305,6 +365,13 @@ void StorageNode::HandleReadPage(const sim::Message& msg) {
       } else {
         resp.status_code = static_cast<uint8_t>(page.status().code());
         ++stats_.page_read_errors;
+        if (page.status().IsCorruption()) {
+          // A latent fault surfaced on the read path before the scrubber
+          // got there: heal from a peer immediately (read-repair).
+          ++stats_.read_repairs;
+          seg->DropPageForRepair(req.page);
+          SchedulePeerPageRepair(req.pg, req.page);
+        }
       }
     }
     std::string payload;
@@ -380,10 +447,16 @@ void StorageNode::GossipTick() {
   // For each hosted segment, ask one random peer what we're missing
   // (Figure 4 step 4). Pull-based: we advertise our SCL; the peer pushes
   // anything above it.
+  std::vector<PgId> evicted;
   for (auto& [pg, seg] : segments_) {
     const PgMembership& members = control_plane_->membership(pg);
     int self = members.IndexOf(id_);
-    if (self < 0) continue;
+    if (self < 0) {
+      // This host was replaced out of the PG (repair or heat management);
+      // the replica is dead weight and stray frames must not resurrect it.
+      evicted.push_back(pg);
+      continue;
+    }
     // Gossip is only useful when a gap is open or we might be behind; a
     // cheap randomized probe handles the "don't know what we don't know"
     // case.
@@ -393,6 +466,7 @@ void StorageNode::GossipTick() {
     pull.pg = pg;
     pull.replica = static_cast<ReplicaIdx>(self);
     pull.epoch = seg->epoch();
+    pull.cfg_epoch = members.config_epoch;
     pull.scl = seg->scl();
     pull.max_lsn = seg->max_lsn();
     std::string payload;
@@ -401,6 +475,11 @@ void StorageNode::GossipTick() {
                    std::move(payload));
     ++stats_.gossip_rounds;
   }
+  for (PgId pg : evicted) {
+    segments_.erase(pg);
+    applied_batches_.erase(pg);
+    ++stats_.evicted_segments_dropped;
+  }
 }
 
 void StorageNode::HandleGossipPull(const sim::Message& msg) {
@@ -408,6 +487,15 @@ void StorageNode::HandleGossipPull(const sim::Message& msg) {
   if (!GossipPullMsg::DecodeFrom(msg.payload(), &pull).ok()) return;
   Segment* seg = EnsureSegment(pull.pg);
   if (seg == nullptr) return;
+  // Membership fence: a pull from an evicted host (or one stamped before a
+  // ReplaceReplica this node already knows about) must not be answered —
+  // feeding records to a dead replica resurrects it.
+  const PgMembership& members = control_plane_->membership(pull.pg);
+  if (members.IndexOf(msg.from) < 0 ||
+      pull.cfg_epoch < members.config_epoch) {
+    ++stats_.stale_config_rejects;
+    return;
+  }
   // A puller on a newer epoch fences this segment forward (it clearly
   // survived a promotion this replica slept through).
   seg->ObserveEpoch(pull.epoch);
@@ -437,7 +525,8 @@ void StorageNode::HandleGossipPull(const sim::Message& msg) {
   if (records.empty()) return;
   stats_.gossip_records_sent += records.size();
   std::string payload;
-  GossipPushMsg::EncodeRecordsTo(pull.pg, seg->epoch(), records, &payload);
+  GossipPushMsg::EncodeRecordsTo(pull.pg, seg->epoch(),
+                                 members.config_epoch, records, &payload);
   network_->Send(id_, msg.from, kMsgGossipPush, std::move(payload));
 }
 
@@ -446,6 +535,14 @@ void StorageNode::HandleGossipPush(const sim::Message& msg) {
   if (!GossipPushMsg::DecodeFrom(msg.payload(), &push).ok()) return;
   Segment* seg = EnsureSegment(push.pg);
   if (seg == nullptr) return;
+  // Membership fence: a push from an evicted donor (or from before a
+  // ReplaceReplica) may carry state the current membership has moved past.
+  const PgMembership& members = control_plane_->membership(push.pg);
+  if (members.IndexOf(msg.from) < 0 ||
+      push.cfg_epoch < members.config_epoch) {
+    ++stats_.stale_config_rejects;
+    return;
+  }
   // Epoch gate: a push from a segment on an older epoch may carry records a
   // recovery truncation annulled (truncation needs only a 4/6 quorum, so a
   // partitioned peer can survive with them). Dropping the push wholesale
@@ -520,6 +617,7 @@ void StorageNode::ScrubTick() {
   }
   for (auto& [pg, seg] : segments_) {
     ++stats_.scrub_rounds;
+    stats_.pages_scrubbed += seg->num_pages();
     size_t corrupt = seg->ScrubPages();
     if (corrupt == 0) continue;
     stats_.corrupt_pages_found += corrupt;
@@ -527,36 +625,40 @@ void StorageNode::ScrubTick() {
     // and if the log is gone, fetch the page from a healthy peer.
     std::vector<PageId> bad(seg->corrupt_pages().begin(),
                             seg->corrupt_pages().end());
-    const PgId pg_id = pg;
     for (PageId page : bad) {
       seg->DropPageForRepair(page);
-      // Fetch a healthy copy from any live peer (control-plane mediated;
-      // whole-segment repair uses the SegmentStateReq data path instead).
-      // Peer segment state is homed on other PDES shards, so the fetch runs
-      // at the next barrier with the whole world quiesced; until then the
-      // dropped page re-materializes from the log on demand.
-      loop_->PostControl(0, [this, gen, pg_id, page] {
-        if (gen != generation_ || crashed_) return;
-        Segment* seg = segment(pg_id);
-        if (seg == nullptr) return;
-        const PgMembership& members = control_plane_->membership(pg_id);
-        for (sim::NodeId peer : members.nodes) {
-          if (peer == id_) continue;
-          StorageNode* peer_node = control_plane_->node(peer);
-          if (peer_node == nullptr || peer_node->crashed()) continue;
-          const Segment* peer_seg = peer_node->segment(pg_id);
-          if (peer_seg == nullptr) continue;
-          Result<Page> healthy =
-              peer_seg->GetPageAsOf(page, peer_seg->applied_lsn());
-          if (healthy.ok()) {
-            seg->RestoreBasePage(page, std::move(*healthy));
-            ++stats_.corrupt_pages_repaired;
-            break;
-          }
-        }
-      });
+      SchedulePeerPageRepair(pg, page);
     }
   }
+}
+
+void StorageNode::SchedulePeerPageRepair(PgId pg, PageId page) {
+  // Fetch a healthy copy from any live peer (control-plane mediated;
+  // whole-segment repair uses the chunked SegmentChunkReq data path
+  // instead). Peer segment state is homed on other PDES shards, so the
+  // fetch runs at the next barrier with the whole world quiesced; until
+  // then the dropped page re-materializes from the log on demand.
+  const uint64_t gen = generation_;
+  loop_->PostControl(0, [this, gen, pg, page] {
+    if (gen != generation_ || crashed_) return;
+    Segment* seg = segment(pg);
+    if (seg == nullptr) return;
+    const PgMembership& members = control_plane_->membership(pg);
+    for (sim::NodeId peer : members.nodes) {
+      if (peer == id_) continue;
+      StorageNode* peer_node = control_plane_->node(peer);
+      if (peer_node == nullptr || peer_node->crashed()) continue;
+      const Segment* peer_seg = peer_node->segment(pg);
+      if (peer_seg == nullptr) continue;
+      Result<Page> healthy =
+          peer_seg->GetPageAsOf(page, peer_seg->applied_lsn());
+      if (healthy.ok()) {
+        seg->RestoreBasePage(page, std::move(*healthy));
+        ++stats_.corrupt_pages_repaired;
+        break;
+      }
+    }
+  });
 }
 
 void StorageNode::BackupTick() {
@@ -624,34 +726,199 @@ void StorageNode::HandleSegmentStateReq(const sim::Message& msg) {
 void StorageNode::HandleSegmentStateResp(const sim::Message& msg) {
   SegmentStateRespMsg resp;
   if (!SegmentStateRespMsg::DecodeFrom(msg.payload(), &resp).ok()) return;
-  // Persist the received copy, then install it.
+  // Persist the received copy, then install it. This path now serves only
+  // gossip's state-transfer backstop; repair uses the chunked transfer.
   const uint64_t gen = generation_;
   disk_.Write(resp.state.size(), [this, gen,
                                   resp = std::move(resp)](Status s) {
     if (gen != generation_ || crashed_ || !s.ok()) return;
-    auto seg = std::make_unique<Segment>(resp.pg, Page::kMinPageSize);
-    if (!seg->DeserializeFrom(resp.state).ok()) return;
-    // Replacing local state is only safe when the copy is a superset of
-    // everything this replica ever held (and thus ever acknowledged): its
-    // complete prefix must cover our whole log, and its epoch must not
-    // regress the fence. Repair installs onto empty replacements trivially
-    // pass; a stale gossip state transfer is dropped and retried.
-    auto existing = segments_.find(resp.pg);
-    if (existing != segments_.end() &&
-        (seg->scl() < existing->second->max_lsn() ||
-         seg->epoch() < existing->second->epoch())) {
+    InstallSegmentCopy(resp.pg, resp.state);
+  });
+}
+
+bool StorageNode::InstallSegmentCopy(PgId pg, Slice state) {
+  auto seg = std::make_unique<Segment>(pg, Page::kMinPageSize);
+  if (!seg->DeserializeFrom(state).ok()) return false;
+  // Replacing local state is only safe when the copy is a superset of
+  // everything this replica ever held (and thus ever acknowledged): its
+  // complete prefix must cover our whole log, and its epoch must not
+  // regress the fence. Repair installs onto empty replacements trivially
+  // pass; a stale gossip state transfer is dropped and retried.
+  auto existing = segments_.find(pg);
+  if (existing != segments_.end() &&
+      (seg->scl() < existing->second->max_lsn() ||
+       seg->epoch() < existing->second->epoch())) {
+    return false;
+  }
+  seg->set_page_cache_budget(options_.page_cache_budget_bytes);
+  if (control_plane_->page_synthesizer()) {
+    seg->set_page_synthesizer(control_plane_->page_synthesizer());
+  }
+  segments_[pg] = std::move(seg);
+  return true;
+}
+
+void StorageNode::BeginRepairSession(PgId pg, uint64_t req_id) {
+  ++stats_.repair_sessions_started;
+  repair_sessions_[{pg, req_id}] = RepairSession{};
+}
+
+void StorageNode::AbortRepairSession(PgId pg, uint64_t req_id) {
+  repair_sessions_.erase({pg, req_id});
+}
+
+void StorageNode::NotifyRepairProgress(PgId pg, RepairProgress progress) {
+  if (!repair_progress_cb_) return;
+  // The callback belongs to the repair manager, which is homed on the
+  // control shard — run it at the next barrier, quiesced.
+  const uint64_t gen = generation_;
+  loop_->PostControl(0, [this, gen, pg, progress] {
+    if (gen != generation_ || crashed_) return;
+    if (repair_progress_cb_) repair_progress_cb_(pg, progress);
+  });
+}
+
+void StorageNode::HandleSegmentChunkReq(const sim::Message& msg) {
+  SegmentChunkReqMsg req;
+  if (!SegmentChunkReqMsg::DecodeFrom(msg.payload(), &req).ok()) return;
+  if (req.chunk_bytes == 0) return;
+  Segment* seg = segment(req.pg);
+  // No segment to donate (evicted, or this host never had one): stay
+  // silent; the manager's chunk timeout triggers donor failover.
+  if (seg == nullptr) return;
+  const auto key = std::make_pair(req.pg, req.req_id);
+  auto it = donor_snapshots_.find(key);
+  if (it == donor_snapshots_.end()) {
+    // First request of this transfer: freeze one consistent snapshot so
+    // every chunk of (pg, req_id) comes from the same serialized state,
+    // no matter how the live segment advances underneath.
+    DonorSnapshot snap;
+    seg->SerializeTo(&snap.blob);
+    snap.blob_crc =
+        crc32c::Mask(crc32c::Value(snap.blob.data(), snap.blob.size()));
+    while (donor_snapshot_order_.size() >= 4) {
+      donor_snapshots_.erase(donor_snapshot_order_.front());
+      donor_snapshot_order_.erase(donor_snapshot_order_.begin());
+    }
+    it = donor_snapshots_.emplace(key, std::move(snap)).first;
+    donor_snapshot_order_.push_back(key);
+  }
+  const DonorSnapshot& snap = it->second;
+  SegmentChunkRespMsg resp;
+  resp.req_id = req.req_id;
+  resp.pg = req.pg;
+  resp.chunk_index = req.chunk_index;
+  resp.total_bytes = snap.blob.size();
+  resp.total_chunks = static_cast<uint32_t>(
+      (snap.blob.size() + req.chunk_bytes - 1) / req.chunk_bytes);
+  resp.blob_crc = snap.blob_crc;
+  if (req.chunk_index < resp.total_chunks) {
+    const uint64_t off = static_cast<uint64_t>(req.chunk_index) *
+                         req.chunk_bytes;
+    resp.data = snap.blob.substr(
+        off, std::min<uint64_t>(req.chunk_bytes, snap.blob.size() - off));
+  }
+  // An out-of-range chunk_index means the requester's geometry came from a
+  // different snapshot (this donor crashed and rebuilt, or took over from
+  // another). Respond with empty data and the *current* geometry; the
+  // receiver detects the blob_crc mismatch and restarts at chunk 0.
+  resp.chunk_crc =
+      crc32c::Mask(crc32c::Value(resp.data.data(), resp.data.size()));
+  const uint64_t gen = generation_;
+  // One device read to page the slice off disk.
+  disk_.Read(resp.data.size() + 64, [this, gen, resp = std::move(resp),
+                                     from = msg.from](Status s) mutable {
+    if (gen != generation_ || crashed_ || !s.ok()) return;
+    std::string payload;
+    resp.EncodeTo(&payload);
+    network_->Send(id_, from, kMsgSegmentChunkResp, std::move(payload));
+  });
+}
+
+void StorageNode::HandleSegmentChunkResp(const sim::Message& msg) {
+  SegmentChunkRespMsg resp;
+  if (!SegmentChunkRespMsg::DecodeFrom(msg.payload(), &resp).ok()) return;
+  auto it = repair_sessions_.find({resp.pg, resp.req_id});
+  if (it == repair_sessions_.end()) return;  // aborted or unknown transfer
+  // Per-chunk payload CRC: a flipped bit the fabric checksum missed (or a
+  // donor-side torn read) must never enter the reassembly buffer.
+  if (crc32c::Mask(crc32c::Value(resp.data.data(), resp.data.size())) !=
+      resp.chunk_crc) {
+    ++stats_.repair_chunk_crc_drops;
+    return;  // the manager's chunk timeout re-requests it
+  }
+  RepairSession& session = it->second;
+  if (session.meta_known && session.blob_crc != resp.blob_crc) {
+    // The snapshot changed under the transfer (donor failover to a peer
+    // with different state, or the donor crashed and rebuilt). Bytes from
+    // two snapshots must never mix; restart the reassembly.
+    session.buffer.clear();
+    session.chunks_received = 0;
+    session.meta_known = false;
+  }
+  RepairProgress progress;
+  progress.req_id = resp.req_id;
+  progress.chunk_index = resp.chunk_index;
+  progress.total_chunks = resp.total_chunks;
+  progress.total_bytes = resp.total_bytes;
+  progress.blob_crc = resp.blob_crc;
+  if (!session.meta_known) {
+    if (resp.chunk_index != 0) {
+      // Mid-blob chunk of a snapshot we have no prefix of — tell the
+      // manager to restart this transfer from chunk 0.
+      progress.event = RepairEvent::kMismatch;
+      NotifyRepairProgress(resp.pg, progress);
       return;
     }
-    seg->set_page_cache_budget(options_.page_cache_budget_bytes);
-    segments_[resp.pg] = std::move(seg);
-    if (segment_installed_cb_) {
-      // The callback belongs to the repair manager, which is homed on the
-      // control shard — run it at the next barrier, quiesced.
-      loop_->PostControl(0, [this, gen, pg = resp.pg] {
-        if (gen != generation_ || crashed_) return;
-        if (segment_installed_cb_) segment_installed_cb_(pg);
-      });
+    session.meta_known = true;
+    session.total_chunks = resp.total_chunks;
+    session.total_bytes = resp.total_bytes;
+    session.blob_crc = resp.blob_crc;
+  }
+  // Strict sequencing: only the next expected chunk extends the buffer;
+  // duplicates and reordered strays are dropped (the manager re-requests on
+  // timeout, so nothing is lost).
+  if (resp.chunk_index != session.chunks_received) return;
+  // Persist the verified chunk, then integrate. Buffer bookkeeping happens
+  // only after the persist succeeds: a torn write leaves the session
+  // expecting the same chunk, and the manager's timeout re-sends it.
+  const uint64_t gen = generation_;
+  disk_.Write(resp.data.size(),
+              [this, gen, resp = std::move(resp),
+               progress](Status s) mutable {
+    if (gen != generation_ || crashed_) return;
+    if (!s.ok()) {
+      if (s.IsCorruption()) ++stats_.torn_write_drops;
+      return;
     }
+    auto it = repair_sessions_.find({resp.pg, resp.req_id});
+    if (it == repair_sessions_.end()) return;
+    RepairSession& session = it->second;
+    if (resp.chunk_index != session.chunks_received ||
+        session.blob_crc != resp.blob_crc) {
+      return;  // the session moved on while the persist was in flight
+    }
+    session.buffer.append(resp.data);
+    ++session.chunks_received;
+    if (session.chunks_received < session.total_chunks) {
+      progress.event = RepairEvent::kChunk;
+      NotifyRepairProgress(resp.pg, progress);
+      return;
+    }
+    // Final chunk: verify the whole reassembled blob, then install.
+    std::string blob = std::move(session.buffer);
+    const uint32_t want_crc = session.blob_crc;
+    const uint64_t want_bytes = session.total_bytes;
+    repair_sessions_.erase(it);
+    const bool sane =
+        blob.size() == want_bytes &&
+        crc32c::Mask(crc32c::Value(blob.data(), blob.size())) == want_crc;
+    if (sane && InstallSegmentCopy(resp.pg, blob)) {
+      progress.event = RepairEvent::kInstalled;
+    } else {
+      progress.event = RepairEvent::kFailed;
+    }
+    NotifyRepairProgress(resp.pg, progress);
   });
 }
 

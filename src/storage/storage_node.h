@@ -1,8 +1,11 @@
 #ifndef AURORA_STORAGE_STORAGE_NODE_H_
 #define AURORA_STORAGE_STORAGE_NODE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/random.h"
@@ -56,11 +59,31 @@ struct StorageNodeStats {
   uint64_t records_coalesced = 0;
   uint64_t records_gced = 0;
   uint64_t scrub_rounds = 0;
+  uint64_t pages_scrubbed = 0;
   uint64_t corrupt_pages_found = 0;
   uint64_t corrupt_pages_repaired = 0;
+  /// Corrupt pages healed from a peer on the *read* path (a CRC mismatch
+  /// surfaced by GetPageAsOf between scrub rounds).
+  uint64_t read_repairs = 0;
   uint64_t backup_objects = 0;
   uint64_t background_deferrals = 0;
   uint64_t stale_epoch_rejects = 0;
+  /// Frames NAKed because the sender's membership config epoch was behind
+  /// this node's view (or the sender is no longer a member at all).
+  uint64_t stale_config_rejects = 0;
+  /// Writes the device completed torn (Status::Corruption): the batch is
+  /// not applied and not acked, so the sender retries.
+  uint64_t torn_write_drops = 0;
+  /// Latent sector faults the device planted under this node's pages.
+  uint64_t latent_corruptions = 0;
+  /// Repair chunks dropped for a payload CRC mismatch (fabric corruption
+  /// that slipped past the frame checksum).
+  uint64_t repair_chunk_crc_drops = 0;
+  /// Incoming chunked-repair transfers started on this node (as target).
+  uint64_t repair_sessions_started = 0;
+  /// Stray segments dropped after this node was evicted from a PG's
+  /// membership (gossip-time cleanup).
+  uint64_t evicted_segments_dropped = 0;
   /// Write batches already applied once and re-acked without re-applying
   /// (network duplicates / sender retries racing an in-flight ack).
   uint64_t duplicate_batches = 0;
@@ -122,10 +145,38 @@ class StorageNode {
   /// For the repair manager: serialized segment state bytes.
   uint64_t SegmentBytes(PgId pg) const;
 
-  /// Invoked after a full segment copy (repair) is installed on this host.
-  void set_segment_installed_callback(std::function<void(PgId)> cb) {
-    segment_installed_cb_ = std::move(cb);
+  // --- Chunked repair (this node as the replacement target) -----------------
+  /// What happened to an in-progress chunked transfer, reported to the
+  /// repair manager via the progress callback.
+  enum class RepairEvent : uint8_t {
+    kChunk,      // one more chunk verified and buffered
+    kMismatch,   // donor snapshot changed mid-copy; buffer reset to chunk 0
+    kInstalled,  // whole blob verified and installed as this PG's segment
+    kFailed,     // blob complete but failed verification or installation
+  };
+  struct RepairProgress {
+    uint64_t req_id = 0;
+    uint32_t chunk_index = 0;
+    uint32_t total_chunks = 0;
+    uint64_t total_bytes = 0;
+    uint32_t blob_crc = 0;
+    RepairEvent event = RepairEvent::kChunk;
+  };
+  /// Single manager-owned callback; per-repair routing happens in the
+  /// manager keyed by (pg, req_id), so concurrent repairs targeting this
+  /// node never clobber each other. Delivered via PostControl (the manager
+  /// is homed on the control shard).
+  using RepairProgressCallback =
+      std::function<void(PgId, const RepairProgress&)>;
+  void set_repair_progress_callback(RepairProgressCallback cb) {
+    repair_progress_cb_ = std::move(cb);
   }
+  /// Opens/abandons the reassembly buffer for one chunked transfer. The
+  /// manager opens a session before requesting chunk 0 and aborts it when
+  /// it gives up on the transfer; a crash of this node drops all sessions
+  /// (the buffer is volatile until the final persist + install).
+  void BeginRepairSession(PgId pg, uint64_t req_id);
+  void AbortRepairSession(PgId pg, uint64_t req_id);
 
  private:
   void HandleMessage(const sim::Message& msg);
@@ -138,6 +189,18 @@ class StorageNode {
   void HandleGossipPush(const sim::Message& msg);
   void HandleSegmentStateReq(const sim::Message& msg);
   void HandleSegmentStateResp(const sim::Message& msg);
+  void HandleSegmentChunkReq(const sim::Message& msg);
+  void HandleSegmentChunkResp(const sim::Message& msg);
+
+  /// Installs a serialized segment copy if it is a superset of local state
+  /// (shared by the one-shot state transfer and the chunked repair path).
+  /// Returns false when the copy was rejected or malformed.
+  bool InstallSegmentCopy(PgId pg, Slice state);
+  /// Posts a repair progress event to the manager at the next barrier.
+  void NotifyRepairProgress(PgId pg, RepairProgress progress);
+  /// Heals one corrupt base page from a live peer at the next barrier
+  /// (shared by the scrubber and the read path).
+  void SchedulePeerPageRepair(PgId pg, PageId page);
 
   void ScheduleBackgroundTasks();
   void GossipTick();
@@ -158,7 +221,27 @@ class StorageNode {
   sim::Disk disk_;
 
   std::map<PgId, std::unique_ptr<Segment>> segments_;
-  std::function<void(PgId)> segment_installed_cb_;
+  RepairProgressCallback repair_progress_cb_;
+  /// Reassembly state of one incoming chunked transfer, keyed (pg, req_id).
+  struct RepairSession {
+    std::string buffer;
+    uint32_t chunks_received = 0;
+    bool meta_known = false;
+    uint32_t total_chunks = 0;
+    uint64_t total_bytes = 0;
+    uint32_t blob_crc = 0;
+  };
+  std::map<std::pair<PgId, uint64_t>, RepairSession> repair_sessions_;
+  /// Donor-side snapshot cache: chunk requests for the same (pg, req_id)
+  /// are served from one consistent SerializeTo blob, so a transfer never
+  /// mixes bytes from two different segment states. Bounded; oldest entry
+  /// evicted (the orphaned transfer restarts via the geometry mismatch).
+  struct DonorSnapshot {
+    std::string blob;
+    uint32_t blob_crc = 0;
+  };
+  std::map<std::pair<PgId, uint64_t>, DonorSnapshot> donor_snapshots_;
+  std::vector<std::pair<PgId, uint64_t>> donor_snapshot_order_;
   StorageNodeStats stats_;
   /// Write batches fully applied (persisted + integrated), keyed per PG as
   /// batch_seq -> epoch. Consulted on receipt so a duplicated or retried

@@ -12,7 +12,7 @@ Status Malformed(const char* what) {
 
 void WriteBatchMsg::EncodeTo(std::string* dst) const {
   EncodeHeaderTo(dst);
-  EncodeBody(epoch, batch_seq, vdl_hint, pgmrpl_hint, records, dst);
+  EncodeBody(epoch, cfg_epoch, batch_seq, vdl_hint, pgmrpl_hint, records, dst);
 }
 
 void WriteBatchMsg::EncodeHeaderTo(std::string* dst) const {
@@ -20,11 +20,13 @@ void WriteBatchMsg::EncodeHeaderTo(std::string* dst) const {
   dst->push_back(static_cast<char>(replica));
 }
 
-void WriteBatchMsg::EncodeBody(Epoch epoch, uint64_t batch_seq, Lsn vdl_hint,
+void WriteBatchMsg::EncodeBody(Epoch epoch, uint64_t cfg_epoch,
+                               uint64_t batch_seq, Lsn vdl_hint,
                                Lsn pgmrpl_hint,
                                const std::vector<LogRecord>& records,
                                std::string* dst) {
   PutVarint64(dst, epoch);
+  PutVarint64(dst, cfg_epoch);
   PutVarint64(dst, batch_seq);
   PutVarint64(dst, vdl_hint);
   PutVarint64(dst, pgmrpl_hint);
@@ -41,6 +43,7 @@ Status WriteBatchMsg::DecodeFrom(Slice input, WriteBatchMsg* out) {
   input.remove_prefix(1);
   Slice blob;
   if (!GetVarint64(&input, &out->epoch) ||
+      !GetVarint64(&input, &out->cfg_epoch) ||
       !GetVarint64(&input, &out->batch_seq) ||
       !GetVarint64(&input, &out->vdl_hint) ||
       !GetVarint64(&input, &out->pgmrpl_hint) ||
@@ -63,6 +66,7 @@ Status WriteBatchMsg::DecodeFrom(Slice head, Slice body, WriteBatchMsg* out) {
   if (!head.empty()) return Malformed("batch");
   Slice blob;
   if (!GetVarint64(&body, &out->epoch) ||
+      !GetVarint64(&body, &out->cfg_epoch) ||
       !GetVarint64(&body, &out->batch_seq) ||
       !GetVarint64(&body, &out->vdl_hint) ||
       !GetVarint64(&body, &out->pgmrpl_hint) ||
@@ -79,6 +83,7 @@ void WriteAckMsg::EncodeTo(std::string* dst) const {
   PutVarint64(dst, scl);
   dst->push_back(static_cast<char>(status_code));
   PutVarint64(dst, epoch);
+  PutVarint64(dst, cfg_epoch);
 }
 
 Status WriteAckMsg::DecodeFrom(Slice input, WriteAckMsg* out) {
@@ -93,7 +98,10 @@ Status WriteAckMsg::DecodeFrom(Slice input, WriteAckMsg* out) {
   }
   out->status_code = static_cast<uint8_t>(input[0]);
   input.remove_prefix(1);
-  if (!GetVarint64(&input, &out->epoch)) return Malformed("ack");
+  if (!GetVarint64(&input, &out->epoch) ||
+      !GetVarint64(&input, &out->cfg_epoch)) {
+    return Malformed("ack");
+  }
   return Status::OK();
 }
 
@@ -103,6 +111,7 @@ void ReadPageReqMsg::EncodeTo(std::string* dst) const {
   PutVarint64(dst, page);
   PutVarint64(dst, read_point);
   PutVarint64(dst, epoch);
+  PutVarint64(dst, cfg_epoch);
 }
 
 Status ReadPageReqMsg::DecodeFrom(Slice input, ReadPageReqMsg* out) {
@@ -110,7 +119,8 @@ Status ReadPageReqMsg::DecodeFrom(Slice input, ReadPageReqMsg* out) {
   if (!GetVarint64(&input, &out->req_id) || !GetVarint32(&input, &pg) ||
       !GetVarint64(&input, &out->page) ||
       !GetVarint64(&input, &out->read_point) ||
-      !GetVarint64(&input, &out->epoch)) {
+      !GetVarint64(&input, &out->epoch) ||
+      !GetVarint64(&input, &out->cfg_epoch)) {
     return Malformed("read req");
   }
   out->pg = pg;
@@ -268,6 +278,7 @@ void GossipPullMsg::EncodeTo(std::string* dst) const {
   PutVarint32(dst, pg);
   dst->push_back(static_cast<char>(replica));
   PutVarint64(dst, epoch);
+  PutVarint64(dst, cfg_epoch);
   PutVarint64(dst, scl);
   PutVarint64(dst, max_lsn);
 }
@@ -278,7 +289,9 @@ Status GossipPullMsg::DecodeFrom(Slice input, GossipPullMsg* out) {
   out->pg = pg;
   out->replica = static_cast<ReplicaIdx>(input[0]);
   input.remove_prefix(1);
-  if (!GetVarint64(&input, &out->epoch) || !GetVarint64(&input, &out->scl) ||
+  if (!GetVarint64(&input, &out->epoch) ||
+      !GetVarint64(&input, &out->cfg_epoch) ||
+      !GetVarint64(&input, &out->scl) ||
       !GetVarint64(&input, &out->max_lsn)) {
     return Malformed("gossip");
   }
@@ -288,16 +301,18 @@ Status GossipPullMsg::DecodeFrom(Slice input, GossipPullMsg* out) {
 void GossipPushMsg::EncodeTo(std::string* dst) const {
   PutVarint32(dst, pg);
   PutVarint64(dst, epoch);
+  PutVarint64(dst, cfg_epoch);
   std::string blob;
   EncodeRecordBatch(records, &blob);
   PutLengthPrefixedSlice(dst, blob);
 }
 
-void GossipPushMsg::EncodeRecordsTo(PgId pg, Epoch epoch,
+void GossipPushMsg::EncodeRecordsTo(PgId pg, Epoch epoch, uint64_t cfg_epoch,
                                     const std::vector<const LogRecord*>& records,
                                     std::string* dst) {
   PutVarint32(dst, pg);
   PutVarint64(dst, epoch);
+  PutVarint64(dst, cfg_epoch);
   std::string blob;
   EncodeRecordBatch(records, &blob);
   PutLengthPrefixedSlice(dst, blob);
@@ -307,6 +322,7 @@ Status GossipPushMsg::DecodeFrom(Slice input, GossipPushMsg* out) {
   uint32_t pg;
   Slice blob;
   if (!GetVarint32(&input, &pg) || !GetVarint64(&input, &out->epoch) ||
+      !GetVarint64(&input, &out->cfg_epoch) ||
       !GetLengthPrefixedSlice(&input, &blob)) {
     return Malformed("gossip push");
   }
@@ -385,6 +401,52 @@ Status SegmentStateRespMsg::DecodeFrom(Slice input, SegmentStateRespMsg* out) {
   }
   out->pg = pg;
   out->state = state.ToString();
+  return Status::OK();
+}
+
+void SegmentChunkReqMsg::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, req_id);
+  PutVarint32(dst, pg);
+  PutVarint32(dst, chunk_index);
+  PutVarint32(dst, chunk_bytes);
+}
+
+Status SegmentChunkReqMsg::DecodeFrom(Slice input, SegmentChunkReqMsg* out) {
+  uint32_t pg;
+  if (!GetVarint64(&input, &out->req_id) || !GetVarint32(&input, &pg) ||
+      !GetVarint32(&input, &out->chunk_index) ||
+      !GetVarint32(&input, &out->chunk_bytes)) {
+    return Malformed("segment chunk req");
+  }
+  out->pg = pg;
+  return Status::OK();
+}
+
+void SegmentChunkRespMsg::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, req_id);
+  PutVarint32(dst, pg);
+  PutVarint32(dst, chunk_index);
+  PutVarint32(dst, total_chunks);
+  PutVarint64(dst, total_bytes);
+  PutVarint32(dst, blob_crc);
+  PutVarint32(dst, chunk_crc);
+  PutLengthPrefixedSlice(dst, data);
+}
+
+Status SegmentChunkRespMsg::DecodeFrom(Slice input, SegmentChunkRespMsg* out) {
+  uint32_t pg;
+  Slice data;
+  if (!GetVarint64(&input, &out->req_id) || !GetVarint32(&input, &pg) ||
+      !GetVarint32(&input, &out->chunk_index) ||
+      !GetVarint32(&input, &out->total_chunks) ||
+      !GetVarint64(&input, &out->total_bytes) ||
+      !GetVarint32(&input, &out->blob_crc) ||
+      !GetVarint32(&input, &out->chunk_crc) ||
+      !GetLengthPrefixedSlice(&input, &data)) {
+    return Malformed("segment chunk resp");
+  }
+  out->pg = pg;
+  out->data = data.ToString();
   return Status::OK();
 }
 

@@ -35,6 +35,9 @@ enum MsgType : uint16_t {
   kMsgReplicaLogStream = 14,
   // Replica -> writer: read-point feedback for PGMRPL (§4.2.3).
   kMsgReplicaReadPoint = 15,
+  // Chunked repair transfer (replacement <-> donor, §2.2).
+  kMsgSegmentChunkReq = 16,
+  kMsgSegmentChunkResp = 17,
   // Baseline (mirrored MySQL over EBS) traffic.
   kMsgEbsWrite = 20,
   kMsgEbsWriteAck = 21,
@@ -54,6 +57,11 @@ struct WriteBatchMsg {
   PgId pg = 0;
   ReplicaIdx replica = 0;
   Epoch epoch = 0;
+  /// The PG membership config epoch the sender believes current; storage
+  /// NAKs (kStaleConfig) batches stamped below its own view, so a writer
+  /// that missed a ReplaceReplica can never count an evicted host toward
+  /// quorum.
+  uint64_t cfg_epoch = 0;
   uint64_t batch_seq = 0;
   Lsn vdl_hint = kInvalidLsn;
   Lsn pgmrpl_hint = kInvalidLsn;
@@ -76,8 +84,9 @@ struct WriteBatchMsg {
   /// buffer. Concatenating header + body yields exactly the EncodeTo bytes;
   /// DecodeFrom is unchanged.
   void EncodeHeaderTo(std::string* dst) const;
-  static void EncodeBody(Epoch epoch, uint64_t batch_seq, Lsn vdl_hint,
-                         Lsn pgmrpl_hint, const std::vector<LogRecord>& records,
+  static void EncodeBody(Epoch epoch, uint64_t cfg_epoch, uint64_t batch_seq,
+                         Lsn vdl_hint, Lsn pgmrpl_hint,
+                         const std::vector<LogRecord>& records,
                          std::string* dst);
 };
 
@@ -90,8 +99,11 @@ struct WriteAckMsg {
   ReplicaIdx replica = 0;
   uint64_t batch_seq = 0;
   Lsn scl = kInvalidLsn;
-  uint8_t status_code = 0;  // Status::Code: kOk or kFenced
+  uint8_t status_code = 0;  // Status::Code: kOk, kFenced or kStaleConfig
   Epoch epoch = 0;          // the segment's current volume epoch
+  /// The storage node's current view of the PG membership config epoch; on
+  /// a kStaleConfig NAK this tells the writer how far behind it is.
+  uint64_t cfg_epoch = 0;
 
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice input, WriteAckMsg* out);
@@ -109,6 +121,10 @@ struct ReadPageReqMsg {
   /// state. 0 means "unfenced" (replicas read through the stream watermark
   /// and are epoch-agnostic).
   Epoch epoch = 0;
+  /// Membership config epoch of the requester's view; 0 means unenforced
+  /// (read replicas route via the writer's published membership and are
+  /// config-agnostic). A stale value is NAKed with kStaleConfig.
+  uint64_t cfg_epoch = 0;
 
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice input, ReadPageReqMsg* out);
@@ -201,6 +217,7 @@ struct GossipPullMsg {
   PgId pg = 0;
   ReplicaIdx replica = 0;  // sender
   Epoch epoch = 0;         // sender's segment epoch
+  uint64_t cfg_epoch = 0;  // sender's membership config epoch
   Lsn scl = kInvalidLsn;
   Lsn max_lsn = kInvalidLsn;
 
@@ -215,6 +232,7 @@ struct GossipPullMsg {
 struct GossipPushMsg {
   PgId pg = 0;
   Epoch epoch = 0;
+  uint64_t cfg_epoch = 0;  // sender's membership config epoch
   std::vector<LogRecord> records;
 
   void EncodeTo(std::string* dst) const;
@@ -223,7 +241,7 @@ struct GossipPushMsg {
   /// Encodes straight from hot-log record views (Segment::RecordsAbove) —
   /// byte-identical to filling `records` and calling EncodeTo, minus the
   /// deep copy of every record payload.
-  static void EncodeRecordsTo(PgId pg, Epoch epoch,
+  static void EncodeRecordsTo(PgId pg, Epoch epoch, uint64_t cfg_epoch,
                               const std::vector<const LogRecord*>& records,
                               std::string* dst);
 };
@@ -267,6 +285,39 @@ struct SegmentStateRespMsg {
 
   void EncodeTo(std::string* dst) const;
   static Status DecodeFrom(Slice input, SegmentStateRespMsg* out);
+};
+
+/// Chunked repair: the replacement host requests one fixed-size slice of a
+/// donor's serialized segment snapshot. Requests are sequence-tagged by
+/// (req_id, chunk_index) so the transfer is resumable chunk by chunk over
+/// the adversarial fabric.
+struct SegmentChunkReqMsg {
+  uint64_t req_id = 0;      // repair transfer id (scopes the donor snapshot)
+  PgId pg = 0;
+  uint32_t chunk_index = 0;
+  uint32_t chunk_bytes = 0;  // slice size the requester wants
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, SegmentChunkReqMsg* out);
+};
+
+/// One chunk of a donor's segment snapshot. Every response repeats the
+/// snapshot geometry (total_chunks / total_bytes / blob_crc) so the
+/// receiver can detect a donor failover that changed the underlying blob
+/// and restart instead of assembling a franken-segment; `chunk_crc` guards
+/// the slice itself against fabric corruption (masked CRC32C).
+struct SegmentChunkRespMsg {
+  uint64_t req_id = 0;
+  PgId pg = 0;
+  uint32_t chunk_index = 0;
+  uint32_t total_chunks = 0;
+  uint64_t total_bytes = 0;
+  uint32_t blob_crc = 0;   // masked CRC32C of the whole snapshot
+  uint32_t chunk_crc = 0;  // masked CRC32C of `data`
+  std::string data;
+
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice input, SegmentChunkRespMsg* out);
 };
 
 }  // namespace aurora

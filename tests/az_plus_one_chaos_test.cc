@@ -1,0 +1,160 @@
+// AZ+1 certification (§2.2): an entire availability zone plus one more
+// storage host fail permanently while the fabric adversary drops,
+// duplicates, reorders and corrupts frames. The design promise is that this
+// breaks write availability at worst — never durability: no committed LSN
+// may be lost (invariant 8), quorums must keep intersecting across every
+// membership change repair makes (invariant 7), and the fleet must
+// reconverge to 6/6 live members per PG with zero failed repairs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "harness/cluster.h"
+#include "sim/chaos.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing::Key;
+
+class AzPlusOneChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AzPlusOneChaosTest,
+                         ::testing::Values(1, 7, 42, 1337, 20260707));
+
+TEST_P(AzPlusOneChaosTest, CommittedDataSurvivesAndMembershipReconverges) {
+  ClusterOptions o;
+  o.seed = GetParam();
+  o.engine.page_size = 4096;
+  o.engine.pages_per_pg = 64;
+  o.engine.buffer_pool_pages = 2048;
+  o.storage_nodes_per_az = 4;
+  o.repair.detection_threshold = Seconds(2);
+  o.repair.chunk_bytes = 4096;
+  AuroraCluster cluster(o);
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+
+  std::map<std::string, std::string> acked;
+  for (int i = 0; i < 80; ++i) {
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster.PutSync(table, Key(i), value).ok()) << i;
+    acked[Key(i)] = value;
+  }
+  cluster.RunFor(Millis(500));
+
+  ChaosEngine chaos(&cluster);
+  chaos.StartChecker();
+  AdversaryConfig adversary;
+  adversary.drop_probability = 0.02;
+  adversary.duplicate_probability = 0.05;
+  adversary.reorder_window = Millis(2);
+  adversary.corrupt_probability = 0.001;
+  chaos.SetAdversary(adversary);
+
+  // The design fault: all of AZ 1, plus one extra host outside it, down for
+  // good. Count how many pg-0 replicas that kills (2 per AZ, plus possibly
+  // the extra host) so we can check repair replaced every one of them.
+  const sim::AzId lost_az = 1;
+  size_t extra_index = SIZE_MAX;
+  for (size_t i = 0; i < cluster.num_storage_nodes(); ++i) {
+    if (cluster.topology()->az_of(cluster.storage_node(i)->id()) != lost_az) {
+      extra_index = i;
+      break;
+    }
+  }
+  ASSERT_NE(extra_index, SIZE_MAX);
+  const sim::NodeId extra = cluster.storage_node(extra_index)->id();
+  size_t expected_repairs = 0;
+  const PgMembership before = cluster.control_plane()->membership(0);
+  for (sim::NodeId node : before.nodes) {
+    if (cluster.topology()->az_of(node) == lost_az || node == extra) {
+      ++expected_repairs;
+    }
+  }
+  ASSERT_GE(expected_repairs, 2u);  // an AZ holds two of each PG's six
+
+  chaos.FailAzPlusOneAt(Millis(10), lost_az, extra_index, /*downtime=*/0);
+  chaos.Run(Millis(20));
+
+  // Reconvergence: every PG back to six live members, each actually hosting
+  // its segment, with no repair still running or queued.
+  auto reconverged = [&] {
+    if (!cluster.repair_manager()->active_repairs().empty()) return false;
+    if (cluster.repair_manager()->queue_depth() != 0) return false;
+    size_t num_pgs = cluster.control_plane()->num_pgs();
+    for (PgId pg = 0; pg < num_pgs; ++pg) {
+      const PgMembership& members = cluster.control_plane()->membership(pg);
+      for (sim::NodeId node : members.nodes) {
+        StorageNode* sn = cluster.storage_node_by_id(node);
+        if (sn == nullptr || sn->crashed()) return false;
+        if (sn->segment(pg) == nullptr) return false;
+      }
+    }
+    return true;
+  };
+  bool ok = cluster.RunUntil(reconverged, Minutes(5));
+  if (!ok) {
+    const RepairStats& rs = cluster.repair_manager()->stats();
+    std::string diag = "repair stats: started=" + std::to_string(rs.started) +
+                       " completed=" + std::to_string(rs.completed) +
+                       " failed=" + std::to_string(rs.failed) +
+                       " no_replacement=" + std::to_string(rs.no_replacement) +
+                       " no_donor=" + std::to_string(rs.no_donor) +
+                       " chunk_retries=" + std::to_string(rs.chunk_retries) +
+                       " donor_failovers=" + std::to_string(rs.donor_failovers) +
+                       " transfer_restarts=" + std::to_string(rs.transfer_restarts) +
+                       " active=" + std::to_string(cluster.repair_manager()->active_repairs().size()) +
+                       " queue=" + std::to_string(cluster.repair_manager()->queue_depth());
+    for (const auto& r : cluster.repair_manager()->active_repairs()) {
+      diag += "\n active pg=" + std::to_string(r.pg) +
+              " idx=" + std::to_string(r.idx) +
+              " target=" + std::to_string(r.target) +
+              " donor=" + std::to_string(r.donor) +
+              " next=" + std::to_string(r.next_chunk) + "/" +
+              std::to_string(r.total_chunks);
+    }
+    size_t num_pgs = cluster.control_plane()->num_pgs();
+    for (PgId pg = 0; pg < num_pgs; ++pg) {
+      const PgMembership& members = cluster.control_plane()->membership(pg);
+      diag += "\n pg " + std::to_string(pg) + " epoch " +
+              std::to_string(members.config_epoch) + ":";
+      for (sim::NodeId node : members.nodes) {
+        StorageNode* sn = cluster.storage_node_by_id(node);
+        diag += " " + std::to_string(node) +
+                (sn == nullptr ? "?" : (sn->crashed() ? "X" : (sn->segment(pg) ? "" : "-")));
+      }
+    }
+    FAIL() << "membership never reconverged to 6/6 live members\n" << diag;
+  }
+
+  const RepairStats& repair = cluster.repair_manager()->stats();
+  EXPECT_EQ(repair.failed, 0u);
+  EXPECT_GE(repair.completed, expected_repairs);
+
+  chaos.ClearAdversary();
+  cluster.RunFor(Seconds(5));  // let gossip converge the stragglers
+  chaos.StopChecker();
+
+  // Zero committed-LSN loss: every acked row reads back its acked value.
+  for (const auto& [key, value] : acked) {
+    auto got = cluster.GetSync(table, key);
+    ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+    EXPECT_EQ(*got, value) << key;
+  }
+  // And the volume is writable again on the repaired membership.
+  for (int i = 200; i < 220; ++i) {
+    ASSERT_TRUE(cluster.PutSync(table, Key(i), "post").ok()) << i;
+  }
+
+  const auto& violations = chaos.checker()->violations();
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violation(s), first: " << violations.front();
+  EXPECT_GT(chaos.checker()->checks(), 0u);
+}
+
+}  // namespace
+}  // namespace aurora

@@ -154,6 +154,43 @@ TEST(CrashLifecycleTest, FullClusterCrashDrainsTheLoopToZero) {
       << "events still pending long after every component crashed";
 }
 
+TEST(CrashLifecycleTest, RepairManagerStopCancelsPollAndChunkTimers) {
+  // The repair manager keeps a periodic poll armed and, while a chunked
+  // transfer runs, one chunk timeout per active repair. Stop() must cancel
+  // all of them synchronously — pending() drops immediately — and abort the
+  // transfer so nothing fires into freed repair state afterwards.
+  ClusterOptions o = SmallCluster();
+  o.storage_nodes_per_az = 4;  // leave spare hosts so a repair dispatches
+  o.repair.detection_threshold = Seconds(1);
+  o.repair.chunk_bytes = 256;  // long multi-chunk transfer
+  AuroraCluster cluster(o);
+  ASSERT_TRUE(cluster.BootstrapSync().ok());
+  ASSERT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster.PutSync(table, Key(i), "v").ok());
+  }
+
+  cluster.failure_injector()->CrashNode(cluster.storage_node(0)->id(), 0);
+  ASSERT_TRUE(cluster.RunUntil(
+      [&] { return !cluster.repair_manager()->active_repairs().empty(); },
+      Minutes(1)));
+
+  size_t before = cluster.loop()->pending();
+  cluster.repair_manager()->Stop();
+  size_t after = cluster.loop()->pending();
+  EXPECT_LE(after + 2, before)
+      << "Stop() left the poll timer or a chunk timeout live: before="
+      << before << " after=" << after;
+  EXPECT_TRUE(cluster.repair_manager()->active_repairs().empty());
+  EXPECT_EQ(cluster.repair_manager()->queue_depth(), 0u);
+
+  // No repair activity of any kind after Stop().
+  const uint64_t completed = cluster.repair_manager()->stats().completed;
+  cluster.RunFor(Seconds(10));
+  EXPECT_EQ(cluster.repair_manager()->stats().completed, completed);
+}
+
 TEST(CrashLifecycleTest, MysqlCrashCancelsCheckpointTimer) {
   MysqlCluster cluster{MysqlClusterOptions{}};
   ASSERT_TRUE(cluster.BootstrapSync().ok());

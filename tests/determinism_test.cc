@@ -149,6 +149,81 @@ TEST(DeterminismTest, ShardWorkerSweepUnderAdversaryIsByteIdentical) {
   EXPECT_EQ(json_1, json_4);
 }
 
+/// The PR-10 robustness surface in one pot: chunked repair (permanent node
+/// loss), the scrubber racing latent disk corruption and torn writes, and
+/// the fabric adversary — all of whose retry/failover/read-repair decisions
+/// draw from seeded RNG streams. Returns the metrics dump + event count.
+std::pair<std::string, uint64_t> RunRepairScrubWorkload(uint64_t seed,
+                                                        int sim_shards) {
+  ClusterOptions o;
+  o.seed = seed;
+  o.sim_shards = sim_shards;
+  o.engine.page_size = 4096;
+  o.engine.pages_per_pg = 64;
+  o.engine.buffer_pool_pages = 512;
+  o.storage_nodes_per_az = 4;
+  o.repair.detection_threshold = Seconds(1);
+  o.repair.chunk_bytes = 2048;
+  o.storage.scrub_interval = Seconds(1);
+  o.storage.disk.torn_write_probability = 0.02;
+  o.storage.disk.latent_corruption_probability = 0.05;
+  AuroraCluster cluster(o);
+  EXPECT_TRUE(cluster.BootstrapSync().ok());
+  EXPECT_TRUE(cluster.CreateTableSync("t").ok());
+  PageId table = *cluster.TableAnchorSync("t");
+
+  Random rng(seed * 131 + 7);
+  ChaosEngine chaos(&cluster);
+  AdversaryConfig cfg;
+  cfg.drop_probability = 0.02;
+  cfg.duplicate_probability = 0.05;
+  cfg.reorder_window = Millis(2);
+  cfg.corrupt_probability = 0.001;
+  chaos.SetAdversary(cfg);
+  std::map<std::string, std::string> acked;
+  for (int round = 0; round < 3; ++round) {
+    if (round == 1) {
+      // Permanent loss: the repair state machine (chunked transfer, chunk
+      // timeouts, possibly donor failover) runs under the adversary.
+      cluster.failure_injector()->CrashNode(cluster.storage_node(0)->id(), 0);
+    }
+    for (int i = 0; i < 20; ++i) {
+      std::string key = Key(rng.Uniform(64));
+      std::string value = "v" + std::to_string(round * 100 + i);
+      if (cluster.PutSync(table, key, value).ok()) acked[key] = value;
+    }
+    cluster.RunFor(Seconds(1));  // scrub rounds + repair progress
+  }
+  cluster.RunFor(Seconds(3));
+  chaos.ClearAdversary();
+  for (const auto& [key, value] : acked) {
+    auto got = cluster.GetSync(table, key);
+    EXPECT_TRUE(got.ok());
+    if (got.ok()) {
+      EXPECT_EQ(*got, value);
+    }
+  }
+  return {cluster.DumpMetricsJson(), cluster.loop()->events_executed()};
+}
+
+// Repair + scrubber + disk faults active, swept across worker counts: the
+// whole robustness stack must stay byte-identical under parallel shard
+// execution, or chaos CI results would depend on the host's core count.
+TEST(DeterminismTest, RepairScrubDiskFaultSweepIsByteIdentical) {
+  auto [json_1, executed_1] = RunRepairScrubWorkload(20260807, 1);
+  auto [json_2, executed_2] = RunRepairScrubWorkload(20260807, 2);
+  auto [json_4, executed_4] = RunRepairScrubWorkload(20260807, 4);
+  EXPECT_EQ(executed_1, executed_2);
+  EXPECT_EQ(executed_1, executed_4);
+  EXPECT_EQ(json_1, json_2);
+  EXPECT_EQ(json_1, json_4);
+  // Each subsystem's metrics are present in the dump, or the sweep proves
+  // nothing about them.
+  EXPECT_NE(json_1.find("\"torn_write_drops\""), std::string::npos);
+  EXPECT_NE(json_1.find("\"repair\""), std::string::npos);
+  EXPECT_NE(json_1.find("\"scrub\""), std::string::npos);
+}
+
 /// A short sysbench run with 100 ms interval-windowed metrics, returning
 /// every window serialized. Windows are snapshotted from the control shard
 /// (a barrier-consistent global cut), so the whole time series — not just

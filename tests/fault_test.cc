@@ -113,7 +113,7 @@ TEST_F(FaultTest, RepairReplacesPermanentlyDeadNode) {
   // Detection threshold (2s) + transfer; give it time.
   ASSERT_TRUE(cluster_.RunUntil(
       [&] {
-        return cluster_.repair_manager()->stats().repairs_completed >=
+        return cluster_.repair_manager()->stats().completed >=
                cluster_.control_plane()->ReplicasOnNode(victim).size() &&
                cluster_.control_plane()->membership(0).IndexOf(victim) < 0;
       },
@@ -139,7 +139,7 @@ TEST_F(FaultTest, BriefOutageDoesNotTriggerRepair) {
   cluster_.failure_injector()->CrashNode(cluster_.storage_node(0)->id(),
                                          Millis(500));
   cluster_.RunFor(Seconds(10));
-  EXPECT_EQ(cluster_.repair_manager()->stats().repairs_completed, 0u);
+  EXPECT_EQ(cluster_.repair_manager()->stats().completed, 0u);
 }
 
 TEST_F(FaultTest, HeatManagementMigratesReplica) {

@@ -46,7 +46,7 @@ TEST(OpsTest, RollingOneAzAtATimePatchKeepsClusterAvailable) {
     cluster.RunFor(Seconds(1));  // AZ back before the next one starts
   }
   EXPECT_EQ(committed, attempted);
-  EXPECT_EQ(cluster.repair_manager()->stats().repairs_started, 0u);
+  EXPECT_EQ(cluster.repair_manager()->stats().started, 0u);
   // Everything written during the rolling patch is readable.
   for (sim::AzId az = 0; az < 3; ++az) {
     for (int i = 0; i < 20; ++i) {

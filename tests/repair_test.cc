@@ -1,0 +1,313 @@
+// Chunked, resumable re-replication under fire (DESIGN.md §12): donor
+// failover mid-copy, dead-end handling (no replacement / no donor), the
+// fleet-wide concurrency cap, and the membership-epoch protocol that keeps a
+// stale writer from reaching quorum through an evicted host.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "sim/chaos.h"
+#include "tests/test_util.h"
+
+namespace aurora {
+namespace {
+
+using testing::Key;
+
+ClusterOptions RepairCluster() {
+  ClusterOptions o;
+  o.engine.page_size = 4096;
+  o.engine.pages_per_pg = 64;
+  o.engine.buffer_pool_pages = 1024;
+  o.storage_nodes_per_az = 4;
+  o.repair.detection_threshold = Seconds(2);
+  // Small chunks force long multi-chunk transfers so tests can interfere
+  // with a copy mid-flight.
+  o.repair.chunk_bytes = 512;
+  return o;
+}
+
+AdversaryConfig RepairAdversary() {
+  AdversaryConfig cfg;
+  cfg.drop_probability = 0.02;
+  cfg.duplicate_probability = 0.05;
+  cfg.reorder_window = Millis(2);
+  cfg.corrupt_probability = 0.001;
+  return cfg;
+}
+
+class RepairTest : public ::testing::Test {
+ protected:
+  explicit RepairTest(ClusterOptions o = RepairCluster()) : cluster_(o) {
+    EXPECT_TRUE(cluster_.BootstrapSync().ok());
+    EXPECT_TRUE(cluster_.CreateTableSync("t").ok());
+    table_ = *cluster_.TableAnchorSync("t");
+  }
+
+  int WriteRows(int base, int n, const std::string& value = "v") {
+    int ok = 0;
+    for (int i = 0; i < n; ++i) {
+      if (cluster_.PutSync(table_, Key(base + i), value).ok()) ++ok;
+    }
+    return ok;
+  }
+
+  uint64_t SumStorage(uint64_t StorageNodeStats::*field) {
+    uint64_t total = 0;
+    for (size_t i = 0; i < cluster_.num_storage_nodes(); ++i) {
+      total += cluster_.storage_node(i)->stats().*field;
+    }
+    return total;
+  }
+
+  AuroraCluster cluster_;
+  PageId table_ = kInvalidPage;
+};
+
+// The tentpole property test: a repair must complete even when (a) the
+// fabric drops, duplicates, reorders and corrupts frames and (b) the donor
+// crashes in the middle of the copy. The transfer resumes on a different
+// donor from the last acked chunk (or restarts from chunk 0 on a snapshot
+// mismatch) — either way the replacement ends up with a verified superset
+// of the acked state.
+TEST_F(RepairTest, TransferSurvivesDonorCrashUnderAdversary) {
+  ASSERT_EQ(WriteRows(0, 60), 60);
+  cluster_.RunFor(Seconds(1));
+
+  ChaosEngine chaos(&cluster_);
+  chaos.SetAdversary(RepairAdversary());
+
+  const PgMembership before = cluster_.control_plane()->membership(0);
+  const sim::NodeId victim = before.nodes[2];
+  cluster_.failure_injector()->CrashNode(victim, 0);  // permanent
+
+  // Wait until the pg-0 transfer is genuinely mid-copy (at least one chunk
+  // acked, more outstanding), then kill the donor it is reading from.
+  sim::NodeId donor = sim::kInvalidNode;
+  ASSERT_TRUE(cluster_.RunUntil(
+      [&] {
+        for (const auto& r : cluster_.repair_manager()->active_repairs()) {
+          if (r.pg == 0 && r.next_chunk >= 1 && r.total_chunks > 0 &&
+              r.next_chunk < r.total_chunks) {
+            donor = r.donor;
+            return true;
+          }
+        }
+        return false;
+      },
+      Minutes(1)))
+      << "repair never reached a resumable mid-copy state";
+  ASSERT_NE(donor, sim::kInvalidNode);
+  ASSERT_NE(donor, victim);
+  cluster_.failure_injector()->CrashNode(donor, 0);  // donor dies mid-copy
+
+  ASSERT_TRUE(cluster_.RunUntil(
+      [&] {
+        return cluster_.repair_manager()->stats().completed >= 1 &&
+               cluster_.control_plane()->membership(0).IndexOf(victim) < 0;
+      },
+      Minutes(2)));
+  const RepairStats& stats = cluster_.repair_manager()->stats();
+  EXPECT_GE(stats.donor_failovers, 1u);
+  EXPECT_GT(stats.bytes_copied, 0u);
+
+  chaos.ClearAdversary();
+  cluster_.RunFor(Seconds(5));
+  // The installed replacement has converged to a complete copy.
+  const PgMembership& after = cluster_.control_plane()->membership(0);
+  EXPECT_LT(after.IndexOf(victim), 0);
+  EXPECT_LT(after.IndexOf(donor), 0);
+  StorageNode* sn = cluster_.storage_node_by_id(after.nodes[2]);
+  ASSERT_NE(sn, nullptr);
+  const Segment* seg = sn->segment(0);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_GE(seg->scl(), cluster_.writer()->vdl());
+  // Nothing acked was lost, and writes flow again.
+  for (int i = 0; i < 60; ++i) {
+    auto got = cluster_.GetSync(table_, Key(i));
+    ASSERT_TRUE(got.ok()) << i << ": " << got.status().ToString();
+  }
+  EXPECT_EQ(WriteRows(100, 20), 20);
+}
+
+class RepairSmallFleetTest : public RepairTest {
+ protected:
+  static ClusterOptions SmallFleet() {
+    ClusterOptions o = RepairCluster();
+    // Six hosts total: every host is a member of pg 0, so a down member has
+    // no replacement candidate anywhere in the fleet.
+    o.storage_nodes_per_az = 2;
+    return o;
+  }
+  RepairSmallFleetTest() : RepairTest(SmallFleet()) {}
+};
+
+// Dead end #1: replacement exhaustion. Repair must count the dead end and
+// release the replica (retry next poll) instead of wedging it in-flight; a
+// host that comes back before a slot frees up simply rejoins.
+TEST_F(RepairSmallFleetTest, NoReplacementDegradesGracefully) {
+  ASSERT_EQ(WriteRows(0, 20), 20);
+  const PgMembership before = cluster_.control_plane()->membership(0);
+  const sim::NodeId victim = cluster_.storage_node(0)->id();
+  cluster_.failure_injector()->CrashNode(victim, Seconds(8));
+
+  cluster_.RunFor(Seconds(4));  // past the 2 s detection threshold
+  const RepairStats& stats = cluster_.repair_manager()->stats();
+  EXPECT_GE(stats.no_replacement, 1u);
+  EXPECT_EQ(stats.started, 0u);
+  EXPECT_EQ(stats.completed, 0u);
+  // The dead end released the replica: nothing active, nothing queued.
+  EXPECT_TRUE(cluster_.repair_manager()->active_repairs().empty());
+  EXPECT_EQ(cluster_.repair_manager()->queue_depth(), 0u);
+  // And the manager keeps retrying on every poll rather than giving up.
+  const uint64_t sample = stats.no_replacement;
+  cluster_.RunFor(Seconds(2));
+  EXPECT_GT(stats.no_replacement, sample);
+
+  // Host returns at t=8 s: membership is intact and the fleet heals.
+  cluster_.RunFor(Seconds(6));
+  EXPECT_EQ(cluster_.control_plane()->membership(0).config_epoch,
+            before.config_epoch);
+  EXPECT_GE(cluster_.control_plane()->membership(0).IndexOf(victim), 0);
+  EXPECT_EQ(WriteRows(50, 20), 20);
+}
+
+// Dead end #2: no live donor (quorum already lost). Repair counts it,
+// releases the replica, and never wedges — data recovery is impossible, but
+// the manager must stay healthy for the PGs that can still be repaired.
+TEST_F(RepairTest, NoDonorDegradesGracefully) {
+  ASSERT_EQ(WriteRows(0, 20), 20);
+  const PgMembership before = cluster_.control_plane()->membership(0);
+  for (sim::NodeId node : before.nodes) {
+    cluster_.failure_injector()->CrashNode(node, 0);  // all six, permanent
+  }
+  cluster_.RunFor(Seconds(5));
+  const RepairStats& stats = cluster_.repair_manager()->stats();
+  EXPECT_GE(stats.no_donor, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_TRUE(cluster_.repair_manager()->active_repairs().empty());
+  EXPECT_EQ(cluster_.repair_manager()->queue_depth(), 0u);
+  // Still retrying each poll, not wedged.
+  const uint64_t sample = stats.no_donor;
+  cluster_.RunFor(Seconds(2));
+  EXPECT_GT(stats.no_donor, sample);
+}
+
+class RepairMultiPgTest : public RepairTest {
+ protected:
+  static ClusterOptions MultiPg() {
+    ClusterOptions o = RepairCluster();
+    // Small PGs plus a larger fleet: the volume spans several PGs and there
+    // is always a host that is a member of none of them.
+    o.engine.pages_per_pg = 8;
+    o.storage_nodes_per_az = 6;
+    return o;
+  }
+  RepairMultiPgTest() : RepairTest(MultiPg()) {}
+};
+
+// Regression for the callback-clobber bug: two concurrent transfers into
+// the SAME replacement host used to overwrite each other's completion
+// callback (the last registration won and the first repair hung forever).
+// Routing by (pg, req_id) lets both finish.
+TEST_F(RepairMultiPgTest, ConcurrentRepairsIntoOneTargetBothComplete) {
+  // Grow the volume until it spans at least two protection groups.
+  int base = 0;
+  const std::string value(900, 'x');
+  while (cluster_.control_plane()->num_pgs() < 2 && base < 400) {
+    ASSERT_EQ(WriteRows(base, 20, value), 20);
+    base += 20;
+  }
+  ASSERT_GE(cluster_.control_plane()->num_pgs(), 2u);
+  cluster_.RunFor(Seconds(1));
+
+  // A spare that is a member of neither PG.
+  const PgMembership before0 = cluster_.control_plane()->membership(0);
+  const PgMembership before1 = cluster_.control_plane()->membership(1);
+  sim::NodeId spare = sim::kInvalidNode;
+  for (size_t i = 0; i < cluster_.num_storage_nodes(); ++i) {
+    sim::NodeId id = cluster_.storage_node(i)->id();
+    if (before0.IndexOf(id) < 0 && before1.IndexOf(id) < 0) {
+      spare = id;
+      break;
+    }
+  }
+  ASSERT_NE(spare, sim::kInvalidNode);
+
+  cluster_.repair_manager()->MigrateReplicaTo(0, 1, spare);
+  cluster_.repair_manager()->MigrateReplicaTo(1, 1, spare);
+  ASSERT_TRUE(cluster_.RunUntil(
+      [&] {
+        return cluster_.control_plane()->membership(0).nodes[1] == spare &&
+               cluster_.control_plane()->membership(1).nodes[1] == spare;
+      },
+      Minutes(2)));
+  const RepairStats& stats = cluster_.repair_manager()->stats();
+  EXPECT_EQ(stats.migrations, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  // Both transfers genuinely overlapped on the one target.
+  EXPECT_GE(stats.concurrent_peak, 2u);
+  // The spare serves both segments and nothing was lost.
+  StorageNode* sn = cluster_.storage_node_by_id(spare);
+  ASSERT_NE(sn, nullptr);
+  EXPECT_NE(sn->segment(0), nullptr);
+  EXPECT_NE(sn->segment(1), nullptr);
+  cluster_.RunFor(Seconds(2));
+  for (int i = 0; i < base; ++i) {
+    auto got = cluster_.GetSync(table_, Key(i));
+    ASSERT_TRUE(got.ok()) << i << ": " << got.status().ToString();
+  }
+}
+
+// Membership-epoch enforcement end to end: after repair swaps a member out,
+// the writer's cached configuration is one epoch behind. Its next batch is
+// NAKed (kStaleConfig) by the current members, the writer refreshes from
+// the control plane and resends — the commit lands on the NEW membership
+// and an evicted host can never contribute to quorum again.
+TEST_F(RepairTest, StaleWriterIsNakedThenRefreshesAndCommits) {
+  ASSERT_EQ(WriteRows(0, 30), 30);
+  const PgMembership before = cluster_.control_plane()->membership(0);
+  const sim::NodeId evicted = before.nodes[2];
+
+  cluster_.repair_manager()->MigrateReplica(0, 2);
+  ASSERT_TRUE(cluster_.RunUntil(
+      [&] {
+        return cluster_.control_plane()->membership(0).config_epoch >
+               before.config_epoch;
+      },
+      Minutes(1)));
+  const PgMembership after = cluster_.control_plane()->membership(0);
+  ASSERT_LT(after.IndexOf(evicted), 0);
+
+  // The writer has not been told: its next batch carries the old epoch.
+  EXPECT_EQ(cluster_.writer()->stats().stale_config_refreshes, 0u);
+  EXPECT_EQ(WriteRows(100, 20), 20);
+  EXPECT_GE(cluster_.writer()->stats().stale_config_refreshes, 1u);
+  EXPECT_GE(SumStorage(&StorageNodeStats::stale_config_rejects), 1u);
+
+  // Gossip-time cleanup: the evicted host notices it is no longer a member
+  // and drops its stray segment, so it cannot even hold stale state.
+  cluster_.RunFor(Seconds(1));
+  EXPECT_GE(SumStorage(&StorageNodeStats::evicted_segments_dropped), 1u);
+  StorageNode* old_host = cluster_.storage_node_by_id(evicted);
+  ASSERT_NE(old_host, nullptr);
+  EXPECT_EQ(old_host->segment(0), nullptr);
+
+  // Everything acked under either epoch reads back.
+  for (int i = 0; i < 30; ++i) {
+    auto got = cluster_.GetSync(table_, Key(i));
+    ASSERT_TRUE(got.ok()) << i;
+  }
+  for (int i = 100; i < 120; ++i) {
+    auto got = cluster_.GetSync(table_, Key(i));
+    ASSERT_TRUE(got.ok()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace aurora

@@ -319,6 +319,7 @@ TEST(WireTest, WriteBatchHeaderPlusBodyMatchesEncodeTo) {
   m.pg = 3;
   m.replica = 5;
   m.epoch = 7;
+  m.cfg_epoch = 2;
   m.batch_seq = 42;
   m.vdl_hint = 1000;
   m.pgmrpl_hint = 900;
@@ -327,14 +328,15 @@ TEST(WireTest, WriteBatchHeaderPlusBodyMatchesEncodeTo) {
   m.EncodeTo(&whole);
   std::string split;
   m.EncodeHeaderTo(&split);
-  WriteBatchMsg::EncodeBody(m.epoch, m.batch_seq, m.vdl_hint, m.pgmrpl_hint,
-                            m.records, &split);
+  WriteBatchMsg::EncodeBody(m.epoch, m.cfg_epoch, m.batch_seq, m.vdl_hint,
+                            m.pgmrpl_hint, m.records, &split);
   EXPECT_EQ(split, whole);
   WriteBatchMsg out;
   ASSERT_TRUE(WriteBatchMsg::DecodeFrom(split, &out).ok());
   EXPECT_EQ(out.pg, m.pg);
   EXPECT_EQ(out.replica, m.replica);
   EXPECT_EQ(out.epoch, m.epoch);
+  EXPECT_EQ(out.cfg_epoch, m.cfg_epoch);
   EXPECT_EQ(out.batch_seq, m.batch_seq);
   EXPECT_EQ(out.vdl_hint, m.vdl_hint);
   EXPECT_EQ(out.pgmrpl_hint, m.pgmrpl_hint);
